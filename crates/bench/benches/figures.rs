@@ -1,0 +1,49 @@
+//! `cargo bench` target that regenerates every figure of the paper.
+//!
+//! Runs the sweeps at quick scale by default so a plain
+//! `cargo bench --workspace` prints all five figures' series; set
+//! `RIPQ_SCALE=paper` for the full Table-2-scale sweep (the numbers
+//! recorded in `EXPERIMENTS.md`).
+
+use ripq_bench::{
+    print_rows, print_table2, run_fig10, run_fig11, run_fig12, run_fig13, run_fig9, Scale,
+    Series, FULL_SERIES,
+};
+
+fn main() {
+    // Ignore the --bench argument cargo passes to harness=false targets.
+    let scale = Scale::from_env();
+    eprintln!("# figure reproduction at {scale:?} scale (RIPQ_SCALE=paper for full)");
+
+    print_table2();
+    print_rows(
+        "Figure 9: effects of query window size (range query KL divergence)",
+        "window %",
+        &run_fig9(scale),
+        &[Series::KlPf, Series::KlSm],
+    );
+    print_rows(
+        "Figure 10: effects of k (kNN average hit rate)",
+        "k",
+        &run_fig10(scale),
+        &[Series::HitPf, Series::HitSm],
+    );
+    print_rows(
+        "Figure 11: impact of the number of particles",
+        "particles",
+        &run_fig11(scale),
+        FULL_SERIES,
+    );
+    print_rows(
+        "Figure 12: impact of the number of moving objects",
+        "objects",
+        &run_fig12(scale),
+        FULL_SERIES,
+    );
+    print_rows(
+        "Figure 13: impact of the activation range",
+        "range (m)",
+        &run_fig13(scale),
+        FULL_SERIES,
+    );
+}

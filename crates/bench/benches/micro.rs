@@ -1,0 +1,226 @@
+//! Criterion micro-benchmarks of the system's hot paths: resampling
+//! (Algorithm 1), the graph motion model, shortest network distances,
+//! Algorithm 2 preprocessing, and the two query evaluators (Algorithms 3
+//! and 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use ripq_core::{evaluate_knn, evaluate_range, KnnQuery, QueryId};
+use ripq_floorplan::{office_building, OfficeParams};
+use ripq_geom::{Point2, Rect};
+use ripq_graph::{build_walking_graph, AnchorObjectIndex, AnchorSet};
+use ripq_pf::{
+    resample_indices, Heading, IndoorState, MotionModel, ParticlePreprocessor,
+    PreprocessorConfig,
+};
+use ripq_rfid::{deploy_uniform, DataCollector, ObjectId};
+use std::hint::black_box;
+
+fn bench_resampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resample_indices");
+    for n in [64usize, 512] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &weights, |b, w| {
+            b.iter(|| resample_indices(&mut rng, black_box(w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_motion_step(c: &mut Criterion) {
+    let plan = office_building(&OfficeParams::default()).unwrap();
+    let graph = build_walking_graph(&plan);
+    let motion = MotionModel::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let e = &graph.edges()[0];
+    c.bench_function("motion_step_1s", |b| {
+        let mut s = IndoorState {
+            pos: ripq_graph::GraphPos::new(e.id, e.length() / 2.0),
+            heading: Heading::TowardB,
+            speed: 1.0,
+        };
+        b.iter(|| {
+            motion.step(&mut rng, &graph, &mut s, 1.0);
+            black_box(s.pos)
+        })
+    });
+}
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let plan = office_building(&OfficeParams::default()).unwrap();
+    let graph = build_walking_graph(&plan);
+    let from = graph.project(Point2::new(31.0, 30.0));
+    c.bench_function("dijkstra_office", |b| {
+        b.iter(|| black_box(graph.shortest_paths_from(black_box(from))))
+    });
+}
+
+/// World + populated index shared by the query benches.
+fn query_fixture() -> (
+    ripq_floorplan::FloorPlan,
+    ripq_graph::WalkingGraph,
+    AnchorSet,
+    AnchorObjectIndex<ObjectId>,
+) {
+    let plan = office_building(&OfficeParams::default()).unwrap();
+    let graph = build_walking_graph(&plan);
+    let anchors = AnchorSet::generate(&graph, &plan, 1.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut index = AnchorObjectIndex::new();
+    let n_anchors = anchors.anchors().len();
+    for i in 0..200u32 {
+        // Each object spread over ~16 random anchors.
+        let dist: Vec<_> = (0..16)
+            .map(|_| {
+                (
+                    anchors.anchors()[rng.random_range(0..n_anchors)].id,
+                    1.0 / 16.0,
+                )
+            })
+            .collect();
+        index.set_object(ObjectId::new(i), dist);
+    }
+    (plan, graph, anchors, index)
+}
+
+fn bench_range_query(c: &mut Criterion) {
+    let (plan, _graph, anchors, index) = query_fixture();
+    let window = Rect::centered(plan.bounds().center(), 12.0, 10.0);
+    c.bench_function("range_query_200obj", |b| {
+        b.iter(|| {
+            black_box(evaluate_range(
+                &plan,
+                &anchors,
+                black_box(&index),
+                black_box(&window),
+            ))
+        })
+    });
+}
+
+fn bench_knn_query(c: &mut Criterion) {
+    let (plan, graph, anchors, index) = query_fixture();
+    let q = KnnQuery::new(QueryId::new(0), plan.bounds().center(), 3).unwrap();
+    c.bench_function("knn_query_200obj_k3", |b| {
+        b.iter(|| {
+            black_box(evaluate_knn(
+                &graph,
+                &anchors,
+                black_box(&index),
+                black_box(&q),
+            ))
+        })
+    });
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let plan = office_building(&OfficeParams::default()).unwrap();
+    let graph = build_walking_graph(&plan);
+    let anchors = AnchorSet::generate(&graph, &plan, 1.0);
+    let readers = deploy_uniform(&plan, &graph, 19, 2.0);
+    let pre = ParticlePreprocessor::new(&graph, &anchors, &readers, PreprocessorConfig::default());
+    // A 30-second reading history past two readers.
+    let mut collector = DataCollector::new();
+    let o = ObjectId::new(0);
+    for s in 0..30u64 {
+        if s < 4 {
+            collector.ingest_second(s, &[(o, readers[0].id())]);
+        } else if (12..16).contains(&s) {
+            collector.ingest_second(s, &[(o, readers[1].id())]);
+        } else {
+            collector.ingest_second(s, &[]);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(4);
+    c.bench_function("preprocess_object_30s_64p", |b| {
+        b.iter(|| {
+            black_box(
+                pre.process_object(&mut rng, &collector, o, 30, None)
+                    .expect("object known"),
+            )
+        })
+    });
+}
+
+fn bench_symbolic_index(c: &mut Criterion) {
+    use ripq_symbolic::SymbolicModel;
+    let plan = office_building(&OfficeParams::default()).unwrap();
+    let graph = build_walking_graph(&plan);
+    let anchors = AnchorSet::generate(&graph, &plan, 1.0);
+    let readers = deploy_uniform(&plan, &graph, 19, 2.0);
+    let model = SymbolicModel::new(&graph, &anchors, &readers, 1.5);
+    let mut collector = DataCollector::new();
+    for i in 0..200u32 {
+        collector.ingest_second(0, &[(ObjectId::new(i), readers[(i % 19) as usize].id())]);
+    }
+    for s in 1..=10u64 {
+        collector.ingest_second(s, &[]);
+    }
+    let objects: Vec<ObjectId> = (0..200).map(ObjectId::new).collect();
+    c.bench_function("symbolic_index_200obj", |b| {
+        b.iter(|| black_box(model.build_index(&collector, black_box(&objects), 10)))
+    });
+}
+
+fn bench_ptknn(c: &mut Criterion) {
+    use ripq_core::{evaluate_ptknn, PtknnQuery};
+    let (plan, graph, anchors, index) = query_fixture();
+    let q = PtknnQuery::new(plan.bounds().center(), 3, 0.3).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    c.bench_function("ptknn_200obj_k3_100rounds", |b| {
+        b.iter(|| {
+            black_box(evaluate_ptknn(
+                &mut rng,
+                &graph,
+                &anchors,
+                black_box(&index),
+                &q,
+                100,
+            ))
+        })
+    });
+}
+
+fn bench_system_evaluate(c: &mut Criterion) {
+    use ripq_core::{IndoorQuerySystem, SystemConfig};
+    let plan = office_building(&OfficeParams::default()).unwrap();
+    let mut system = IndoorQuerySystem::new(plan, SystemConfig::default(), 11);
+    // 50 objects pinging various readers over 20 seconds.
+    let reader_ids: Vec<_> = system.readers().iter().map(|r| r.id()).collect();
+    for s in 0..20u64 {
+        let det: Vec<_> = (0..50u32)
+            .map(|i| (ObjectId::new(i), reader_ids[((i + s as u32) % 19) as usize]))
+            .collect();
+        system.ingest_detections(s, &det);
+    }
+    let center = system.plan().bounds().center();
+    system
+        .register_range(Rect::centered(center, 12.0, 10.0))
+        .unwrap();
+    system.register_knn(center, 3).unwrap();
+    c.bench_function("system_evaluate_50obj_2q", |b| {
+        let mut now = 20u64;
+        b.iter(|| {
+            system.ingest_detections(now, &[]);
+            let report = system.evaluate(now);
+            now += 1;
+            black_box(report.candidates_processed)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_resampling,
+    bench_motion_step,
+    bench_shortest_paths,
+    bench_range_query,
+    bench_knn_query,
+    bench_preprocess,
+    bench_symbolic_index,
+    bench_ptknn,
+    bench_system_evaluate
+);
+criterion_main!(benches);

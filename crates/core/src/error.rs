@@ -1,0 +1,43 @@
+//! Error type of the query engine.
+
+use std::fmt;
+
+/// Errors surfaced by the query evaluation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A kNN query was registered with `k = 0`.
+    ZeroK,
+    /// A range query window has zero area.
+    EmptyWindow,
+    /// A query id was not found among registered queries.
+    UnknownQuery(u32),
+    /// A PTkNN query was given a probability threshold outside `(0, 1]`.
+    InvalidThreshold(f64),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ZeroK => write!(f, "kNN query requires k >= 1"),
+            CoreError::EmptyWindow => write!(f, "range query window has zero area"),
+            CoreError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            CoreError::InvalidThreshold(t) => {
+                write!(f, "PTkNN threshold must be in (0, 1], got {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CoreError::ZeroK.to_string().contains("k >= 1"));
+        assert!(CoreError::UnknownQuery(7).to_string().contains('7'));
+        assert!(CoreError::EmptyWindow.to_string().contains("zero area"));
+    }
+}

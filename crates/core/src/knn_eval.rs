@@ -1,0 +1,273 @@
+//! Indoor kNN query evaluation — **Algorithm 4**.
+//!
+//! "Starting from the query point q, anchor points are searched in
+//! ascending order of their distance to q; the search expands from q one
+//! anchor point forward per iteration, until the sum of the probability of
+//! all objects indexed by the searched anchor points is no less than k."
+//!
+//! The result set `⟨(o₁,p₁) … (o_m,p_m)⟩` with `Σpᵢ ≥ k` contains at least
+//! `k` objects; `pᵢ` is the (statistical) probability of `oᵢ` being in the
+//! true kNN result.
+//!
+//! Our implementation visits anchors in exactly the same order as the
+//! paper's frontier expansion — ascending shortest network distance from
+//! `q` — using one Dijkstra pass plus a min-heap over anchors, and stops at
+//! the same Σp ≥ k criterion, so it returns the identical result set.
+
+use crate::{KnnQuery, ResultSet};
+use ripq_graph::{AnchorObjectIndex, AnchorSet, WalkingGraph};
+use ripq_rfid::ObjectId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry {
+    dist: f64,
+    anchor: ripq_graph::AnchorId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.anchor == other.anchor
+    }
+}
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by distance; ties by anchor id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.anchor.cmp(&self.anchor))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Evaluates a probabilistic kNN query over the filtered `APtoObjHT`
+/// index.
+///
+/// The query point is first "approximated to the nearest edge of the
+/// indoor walking graph" (§4.6). Returns the accumulated result set; its
+/// total probability is ≥ `min(k, total mass in the index)`.
+pub fn evaluate_knn(
+    graph: &WalkingGraph,
+    anchors: &AnchorSet,
+    index: &AnchorObjectIndex<ObjectId>,
+    query: &KnnQuery,
+) -> ResultSet {
+    let qpos = graph.project(query.point);
+    let sp = graph.shortest_paths_from(qpos);
+    evaluate_knn_with_paths(graph, anchors, index, query, &sp)
+}
+
+/// [`evaluate_knn`] over a caller-provided Dijkstra result.
+///
+/// Registered (standing) kNN queries have a fixed query point, so the
+/// system facade computes each query's [`ripq_graph::ShortestPaths`] once and reuses
+/// it across evaluation passes instead of re-running Dijkstra per tick.
+pub fn evaluate_knn_with_paths(
+    graph: &WalkingGraph,
+    anchors: &AnchorSet,
+    index: &AnchorObjectIndex<ObjectId>,
+    query: &KnnQuery,
+    sp: &ripq_graph::ShortestPaths,
+) -> ResultSet {
+
+    // Seed the frontier with every anchor's network distance. (One
+    // distance lookup per anchor is O(1) after the Dijkstra pass.)
+    let mut heap = BinaryHeap::with_capacity(anchors.anchors().len());
+    for a in anchors.anchors() {
+        heap.push(Entry {
+            dist: sp.distance_to(graph, a.pos),
+            anchor: a.id,
+        });
+    }
+
+    let mut result_set = ResultSet::new();
+    let target = query.k as f64;
+    while let Some(Entry { anchor, .. }) = heap.pop() {
+        for &(o, p) in index.at_anchor(anchor) {
+            result_set.add(o, p);
+        }
+        if result_set.total_probability() >= target {
+            break;
+        }
+    }
+    result_set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryId;
+    use ripq_floorplan::{office_building, FloorPlan, OfficeParams};
+    use ripq_graph::build_walking_graph;
+
+    fn setup() -> (FloorPlan, WalkingGraph, AnchorSet) {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let graph = build_walking_graph(&plan);
+        let anchors = AnchorSet::generate(&graph, &plan, 1.0);
+        (plan, graph, anchors)
+    }
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    /// Places `objects[i]` with probability 1 on the anchor nearest to the
+    /// given point.
+    fn place(
+        graph: &WalkingGraph,
+        anchors: &AnchorSet,
+        index: &mut AnchorObjectIndex<ObjectId>,
+        obj: ObjectId,
+        p: ripq_geom::Point2,
+    ) {
+        let a = anchors.nearest(graph.project(p));
+        index.set_object(obj, vec![(a, 1.0)]);
+    }
+
+    #[test]
+    fn k1_returns_nearest_certain_object() {
+        let (plan, graph, anchors) = setup();
+        let mut index = AnchorObjectIndex::new();
+        let h0 = plan.hallways()[0].footprint().center();
+        // Object 0 close to the query, object 1 far away.
+        place(&graph, &anchors, &mut index, o(0), h0);
+        place(
+            &graph,
+            &anchors,
+            &mut index,
+            o(1),
+            plan.hallways()[2].footprint().center(),
+        );
+        let q = KnnQuery::new(QueryId::new(0), h0, 1).unwrap();
+        let rs = evaluate_knn(&graph, &anchors, &index, &q);
+        assert!((rs.probability(o(0)) - 1.0).abs() < 1e-9);
+        assert_eq!(rs.probability(o(1)), 0.0, "search stopped before o1");
+    }
+
+    #[test]
+    fn accumulates_until_k() {
+        let (plan, graph, anchors) = setup();
+        let mut index = AnchorObjectIndex::new();
+        let base = plan.hallways()[0].footprint().center();
+        for i in 0..5 {
+            place(
+                &graph,
+                &anchors,
+                &mut index,
+                o(i),
+                base + ripq_geom::Point2::new(i as f64 * 3.0, 0.0),
+            );
+        }
+        let q = KnnQuery::new(QueryId::new(0), base, 3).unwrap();
+        let rs = evaluate_knn(&graph, &anchors, &index, &q);
+        assert!(rs.total_probability() >= 3.0 - 1e-9);
+        assert!(rs.len() >= 3, "at least k objects returned");
+        // The three nearest are the first three placed.
+        for i in 0..3 {
+            assert!((rs.probability(o(i)) - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(rs.probability(o(4)), 0.0);
+    }
+
+    #[test]
+    fn uncertain_objects_contribute_fractionally() {
+        let (plan, graph, anchors) = setup();
+        let mut index = AnchorObjectIndex::new();
+        let base = plan.hallways()[0].footprint().center();
+        let near = anchors.nearest(graph.project(base));
+        let far = anchors.nearest(graph.project(plan.hallways()[2].footprint().center()));
+        // Object 0: 50/50 near/far. Object 1: certain, slightly farther
+        // than the near anchor.
+        index.set_object(o(0), vec![(near, 0.5), (far, 0.5)]);
+        place(
+            &graph,
+            &anchors,
+            &mut index,
+            o(1),
+            base + ripq_geom::Point2::new(4.0, 0.0),
+        );
+        let q = KnnQuery::new(QueryId::new(0), base, 1).unwrap();
+        let rs = evaluate_knn(&graph, &anchors, &index, &q);
+        // Expansion picks up o0's 0.5 first, continues (0.5 < 1), then o1's
+        // 1.0 pushes the total past k=1.
+        assert!((rs.probability(o(0)) - 0.5).abs() < 1e-9);
+        assert!((rs.probability(o(1)) - 1.0).abs() < 1e-9);
+        assert!(rs.total_probability() >= 1.0);
+    }
+
+    #[test]
+    fn result_at_least_k_objects_when_available() {
+        let (plan, graph, anchors) = setup();
+        let mut index = AnchorObjectIndex::new();
+        for i in 0..10 {
+            place(
+                &graph,
+                &anchors,
+                &mut index,
+                o(i),
+                plan.rooms()[i as usize * 3].center(),
+            );
+        }
+        for k in [1usize, 3, 5, 9] {
+            let q = KnnQuery::new(
+                QueryId::new(0),
+                plan.hallways()[1].footprint().center(),
+                k,
+            )
+            .unwrap();
+            let rs = evaluate_knn(&graph, &anchors, &index, &q);
+            assert!(rs.len() >= k, "k={k}: got {}", rs.len());
+            assert!(rs.total_probability() >= k as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn insufficient_mass_returns_everything() {
+        let (plan, graph, anchors) = setup();
+        let mut index = AnchorObjectIndex::new();
+        place(&graph, &anchors, &mut index, o(0), plan.rooms()[0].center());
+        let q = KnnQuery::new(QueryId::new(0), plan.rooms()[29].center(), 5).unwrap();
+        let rs = evaluate_knn(&graph, &anchors, &index, &q);
+        // Only one object exists: the scan exhausts all anchors and returns
+        // it rather than looping forever.
+        assert_eq!(rs.len(), 1);
+        assert!((rs.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_index_returns_empty_set() {
+        let (plan, graph, anchors) = setup();
+        let index = AnchorObjectIndex::new();
+        let q = KnnQuery::new(QueryId::new(0), plan.rooms()[0].center(), 3).unwrap();
+        let rs = evaluate_knn(&graph, &anchors, &index, &q);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn network_distance_not_euclidean_governs_order() {
+        // Two objects at the same Euclidean distance from q, but one is in
+        // a room right next to q's hallway position while the other is
+        // across a wall (long walk around): the room one must be found
+        // first.
+        let (plan, graph, anchors) = setup();
+        let room = &plan.rooms()[1];
+        let door = plan.door(room.doors()[0]);
+        let q_point = door.position(); // on the hallway boundary by the door
+        let mut index = AnchorObjectIndex::new();
+        // Object 0 inside the adjacent room (short walk through door).
+        place(&graph, &anchors, &mut index, o(0), room.center());
+        // Object 1 on the other side of the building.
+        place(&graph, &anchors, &mut index, o(1), plan.rooms()[25].center());
+        let q = KnnQuery::new(QueryId::new(0), q_point, 1).unwrap();
+        let rs = evaluate_knn(&graph, &anchors, &index, &q);
+        assert!((rs.probability(o(0)) - 1.0).abs() < 1e-9);
+        assert_eq!(rs.probability(o(1)), 0.0);
+    }
+}

@@ -1,0 +1,573 @@
+//! The end-to-end system facade (Fig. 3 of the paper).
+
+use crate::{
+    evaluate_closest_pairs, evaluate_knn_with_paths, evaluate_ptknn, evaluate_range,
+    prune_knn_candidates, prune_range_candidates, ClosestPairsQuery, CoreError, KnnQuery,
+    ObjectPair, PtknnQuery, QueryId, RangeQuery, ResultSet,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ripq_floorplan::FloorPlan;
+use ripq_geom::{Point2, Rect};
+use ripq_graph::{build_walking_graph, AnchorObjectIndex, AnchorSet, ShortestPaths, WalkingGraph};
+use ripq_pf::{CacheStats, ParticleCache, ParticlePreprocessor, PreprocessorConfig};
+use ripq_rfid::{deploy_uniform, DataCollector, ObjectId, RawReading, Reader, ReaderId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of an [`IndoorQuerySystem`]. Defaults match Table 2 of
+/// the paper (64 particles, 19 readers, 2 m activation range, …).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of RFID readers deployed uniformly on hallways (paper: 19).
+    pub reader_count: u32,
+    /// Reader activation range in meters (Table 2 default: 2 m).
+    pub activation_range: f64,
+    /// Anchor point spacing in meters (§4.2 suggests 1 m).
+    pub anchor_spacing: f64,
+    /// Maximum walking speed `u_max` (m/s) for uncertain-region pruning.
+    pub max_speed: f64,
+    /// Particle filter configuration (Table 2 default: 64 particles).
+    pub preprocess: PreprocessorConfig,
+    /// Enable the cache management module (§4.5).
+    pub use_cache: bool,
+    /// Enable the query-aware optimization module (§4.3). Disable for
+    /// ablation benchmarks: every known object is then preprocessed.
+    pub prune_candidates: bool,
+    /// Monte-Carlo rounds per PTkNN query evaluation.
+    pub ptknn_rounds: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            reader_count: 19,
+            activation_range: 2.0,
+            anchor_spacing: 1.0,
+            max_speed: 1.5,
+            preprocess: PreprocessorConfig::default(),
+            use_cache: true,
+            prune_candidates: true,
+            ptknn_rounds: 200,
+        }
+    }
+}
+
+/// Wall-clock breakdown of one evaluation pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvaluationTimings {
+    /// Candidate pruning (§4.3).
+    pub pruning: Duration,
+    /// Particle-filter preprocessing (§4.4) including cache traffic.
+    pub preprocessing: Duration,
+    /// Query evaluation over the index (§4.6).
+    pub evaluation: Duration,
+    /// End-to-end.
+    pub total: Duration,
+}
+
+/// The result of one evaluation pass over all registered queries.
+#[derive(Debug)]
+pub struct EvaluationReport {
+    /// Result set per registered range query.
+    pub range_results: HashMap<QueryId, ResultSet>,
+    /// Result set per registered kNN query.
+    pub knn_results: HashMap<QueryId, ResultSet>,
+    /// Result set per registered PTkNN query.
+    pub ptknn_results: HashMap<QueryId, ResultSet>,
+    /// Result pairs per registered closest-pairs query.
+    pub closest_pairs_results: HashMap<QueryId, Vec<ObjectPair>>,
+    /// The filtered probabilistic index (`APtoObjHT`) the results came
+    /// from — exposed for accuracy metrics and debugging.
+    pub index: AnchorObjectIndex<ObjectId>,
+    /// How many objects survived candidate pruning and were preprocessed.
+    pub candidates_processed: usize,
+    /// How many objects the collector knows in total.
+    pub objects_known: usize,
+    /// Cache statistics accumulated so far (zeros when caching is off).
+    pub cache_stats: CacheStats,
+    /// Wall-clock breakdown of this pass.
+    pub timings: EvaluationTimings,
+}
+
+/// The RFID + particle-filter indoor spatial query evaluation system.
+///
+/// Owns the full pipeline of Fig. 3. Typical use:
+///
+/// 1. build with [`IndoorQuerySystem::new`];
+/// 2. feed readings each second via [`IndoorQuerySystem::ingest_detections`]
+///    (pre-aggregated) or [`IndoorQuerySystem::ingest_raw`] (sample level);
+/// 3. register queries; call [`IndoorQuerySystem::evaluate`].
+pub struct IndoorQuerySystem {
+    plan: FloorPlan,
+    graph: WalkingGraph,
+    anchors: AnchorSet,
+    readers: Vec<Reader>,
+    collector: DataCollector,
+    cache: ParticleCache,
+    config: SystemConfig,
+    rng: StdRng,
+    range_queries: HashMap<QueryId, RangeQuery>,
+    knn_queries: HashMap<QueryId, KnnQuery>,
+    /// Dijkstra results for registered kNN queries' fixed points, computed
+    /// once at registration and reused every evaluation pass.
+    knn_paths: HashMap<QueryId, ShortestPaths>,
+    ptknn_queries: HashMap<QueryId, PtknnQuery>,
+    closest_pairs_queries: HashMap<QueryId, ClosestPairsQuery>,
+    next_query: u32,
+}
+
+impl IndoorQuerySystem {
+    /// Builds the system for a floor plan: walking graph, anchor set and a
+    /// uniform reader deployment per `config`. `seed` fixes all stochastic
+    /// behavior (particle filtering) for reproducibility.
+    pub fn new(plan: FloorPlan, config: SystemConfig, seed: u64) -> Self {
+        let graph = build_walking_graph(&plan);
+        let anchors = AnchorSet::generate(&graph, &plan, config.anchor_spacing);
+        let readers = deploy_uniform(&plan, &graph, config.reader_count, config.activation_range);
+        IndoorQuerySystem {
+            plan,
+            graph,
+            anchors,
+            readers,
+            collector: DataCollector::new(),
+            cache: ParticleCache::new(),
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            range_queries: HashMap::new(),
+            knn_queries: HashMap::new(),
+            knn_paths: HashMap::new(),
+            ptknn_queries: HashMap::new(),
+            closest_pairs_queries: HashMap::new(),
+            next_query: 0,
+        }
+    }
+
+    /// The floor plan.
+    pub fn plan(&self) -> &FloorPlan {
+        &self.plan
+    }
+
+    /// The walking graph.
+    pub fn graph(&self) -> &WalkingGraph {
+        &self.graph
+    }
+
+    /// The anchor set.
+    pub fn anchors(&self) -> &AnchorSet {
+        &self.anchors
+    }
+
+    /// The reader deployment.
+    pub fn readers(&self) -> &[Reader] {
+        &self.readers
+    }
+
+    /// The data collector (read access).
+    pub fn collector(&self) -> &DataCollector {
+        &self.collector
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Ingests pre-aggregated detections for one second.
+    pub fn ingest_detections(&mut self, second: u64, detections: &[(ObjectId, ReaderId)]) {
+        self.collector.ingest_second(second, detections);
+    }
+
+    /// Ingests raw sample-level readings for one second.
+    pub fn ingest_raw(&mut self, second: u64, raw: &[RawReading]) {
+        self.collector.ingest_raw_second(second, raw);
+    }
+
+    /// Registers a range query.
+    pub fn register_range(&mut self, window: Rect) -> Result<QueryId, CoreError> {
+        let id = QueryId::new(self.next_query);
+        let q = RangeQuery::new(id, window)?;
+        self.next_query += 1;
+        self.range_queries.insert(id, q);
+        Ok(id)
+    }
+
+    /// Registers a kNN query. The query point's Dijkstra pass is computed
+    /// now and reused on every [`IndoorQuerySystem::evaluate`].
+    pub fn register_knn(&mut self, point: Point2, k: usize) -> Result<QueryId, CoreError> {
+        let id = QueryId::new(self.next_query);
+        let q = KnnQuery::new(id, point, k)?;
+        self.next_query += 1;
+        let sp = self.graph.shortest_paths_from(self.graph.project(point));
+        self.knn_paths.insert(id, sp);
+        self.knn_queries.insert(id, q);
+        Ok(id)
+    }
+
+    /// Registers a probabilistic-threshold kNN query (Yang et al.'s
+    /// PTkNN, evaluated by possible-worlds sampling).
+    pub fn register_ptknn(
+        &mut self,
+        point: Point2,
+        k: usize,
+        threshold: f64,
+    ) -> Result<QueryId, CoreError> {
+        let q = PtknnQuery::new(point, k, threshold)?;
+        let id = QueryId::new(self.next_query);
+        self.next_query += 1;
+        self.ptknn_queries.insert(id, q);
+        Ok(id)
+    }
+
+    /// Registers a closest-pairs query (§6 future work).
+    pub fn register_closest_pairs(
+        &mut self,
+        m: usize,
+        contact_radius: f64,
+    ) -> Result<QueryId, CoreError> {
+        let id = QueryId::new(self.next_query);
+        self.next_query += 1;
+        self.closest_pairs_queries.insert(
+            id,
+            ClosestPairsQuery {
+                m,
+                contact_radius,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Removes a registered query.
+    pub fn deregister(&mut self, id: QueryId) -> Result<(), CoreError> {
+        self.knn_paths.remove(&id);
+        if self.range_queries.remove(&id).is_some()
+            || self.knn_queries.remove(&id).is_some()
+            || self.ptknn_queries.remove(&id).is_some()
+            || self.closest_pairs_queries.remove(&id).is_some()
+        {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownQuery(id.raw()))
+        }
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.range_queries.len()
+            + self.knn_queries.len()
+            + self.ptknn_queries.len()
+            + self.closest_pairs_queries.len()
+    }
+
+    /// Runs the full pipeline at time `now`: candidate pruning →
+    /// particle-filter preprocessing (with cache) → query evaluation.
+    pub fn evaluate(&mut self, now: u64) -> EvaluationReport {
+        let t_start = Instant::now();
+        let objects_known = self.collector.objects().count();
+
+        // 1. Query-aware optimization (§4.3).
+        let t_prune = Instant::now();
+        let candidates: Vec<ObjectId> = if self.config.prune_candidates {
+            let windows: Vec<Rect> =
+                self.range_queries.values().map(|q| q.window).collect();
+            let mut c = prune_range_candidates(
+                &self.collector,
+                &self.readers,
+                &windows,
+                now,
+                self.config.max_speed,
+            );
+            for q in self.knn_queries.values() {
+                c.extend(prune_knn_candidates(
+                    &self.graph,
+                    &self.collector,
+                    &self.readers,
+                    q,
+                    now,
+                    self.config.max_speed,
+                ));
+            }
+            // PTkNN pruning reuses the kNN bound; closest-pairs queries
+            // are global and keep every object.
+            for q in self.ptknn_queries.values() {
+                let as_knn = KnnQuery {
+                    id: QueryId::new(u32::MAX),
+                    point: q.point,
+                    k: q.k,
+                };
+                c.extend(prune_knn_candidates(
+                    &self.graph,
+                    &self.collector,
+                    &self.readers,
+                    &as_knn,
+                    now,
+                    self.config.max_speed,
+                ));
+            }
+            if !self.closest_pairs_queries.is_empty() {
+                c.extend(self.collector.objects());
+            }
+            c.sort_unstable();
+            c.dedup();
+            c
+        } else {
+            let mut c: Vec<ObjectId> = self.collector.objects().collect();
+            c.sort_unstable();
+            c
+        };
+
+        let pruning = t_prune.elapsed();
+
+        // 2. Particle-filter preprocessing (§4.4) + cache (§4.5).
+        let t_pre = Instant::now();
+        let preprocessor = ParticlePreprocessor::new(
+            &self.graph,
+            &self.anchors,
+            &self.readers,
+            self.config.preprocess,
+        );
+        let cache = if self.config.use_cache {
+            Some(&mut self.cache)
+        } else {
+            None
+        };
+        let index =
+            preprocessor.process(&mut self.rng, &self.collector, &candidates, now, cache);
+        let preprocessing = t_pre.elapsed();
+
+        // 3. Query evaluation (§4.6).
+        let t_eval = Instant::now();
+        let mut range_results = HashMap::new();
+        for (id, q) in &self.range_queries {
+            range_results.insert(
+                *id,
+                evaluate_range(&self.plan, &self.anchors, &index, &q.window),
+            );
+        }
+        let mut knn_results = HashMap::new();
+        for (id, q) in &self.knn_queries {
+            let sp = &self.knn_paths[id];
+            knn_results.insert(
+                *id,
+                evaluate_knn_with_paths(&self.graph, &self.anchors, &index, q, sp),
+            );
+        }
+        let mut ptknn_results = HashMap::new();
+        for (id, q) in &self.ptknn_queries {
+            ptknn_results.insert(
+                *id,
+                evaluate_ptknn(
+                    &mut self.rng,
+                    &self.graph,
+                    &self.anchors,
+                    &index,
+                    q,
+                    self.config.ptknn_rounds,
+                ),
+            );
+        }
+        let mut closest_pairs_results = HashMap::new();
+        for (id, q) in &self.closest_pairs_queries {
+            closest_pairs_results.insert(
+                *id,
+                evaluate_closest_pairs(&self.graph, &self.anchors, &index, q),
+            );
+        }
+
+        let evaluation = t_eval.elapsed();
+
+        EvaluationReport {
+            range_results,
+            knn_results,
+            ptknn_results,
+            closest_pairs_results,
+            index,
+            candidates_processed: candidates.len(),
+            objects_known,
+            cache_stats: self.cache.stats(),
+            timings: EvaluationTimings {
+                pruning,
+                preprocessing,
+                evaluation,
+                total: t_start.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripq_floorplan::{office_building, OfficeParams};
+
+    fn system() -> IndoorQuerySystem {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        IndoorQuerySystem::new(plan, SystemConfig::default(), 7)
+    }
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    #[test]
+    fn construction_matches_config() {
+        let sys = system();
+        assert_eq!(sys.readers().len(), 19);
+        assert_eq!(sys.plan().rooms().len(), 30);
+        assert!(sys.graph().is_connected());
+        assert_eq!(sys.query_count(), 0);
+    }
+
+    #[test]
+    fn register_and_deregister() {
+        let mut sys = system();
+        let r = sys
+            .register_range(Rect::new(0.0, 9.0, 10.0, 2.0))
+            .unwrap();
+        let k = sys.register_knn(Point2::new(10.0, 10.0), 3).unwrap();
+        assert_ne!(r, k);
+        assert_eq!(sys.query_count(), 2);
+        sys.deregister(r).unwrap();
+        assert_eq!(sys.query_count(), 1);
+        assert_eq!(
+            sys.deregister(r).unwrap_err(),
+            CoreError::UnknownQuery(r.raw())
+        );
+        // Validation errors propagate.
+        assert!(sys.register_knn(Point2::new(0.0, 0.0), 0).is_err());
+        assert!(sys
+            .register_range(Rect::new(0.0, 0.0, 0.0, 0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn end_to_end_range_query_finds_object() {
+        let mut sys = system();
+        let reader = sys.readers()[2];
+        // The object pings reader 2 for a few seconds.
+        for s in 0..5u64 {
+            sys.ingest_detections(s, &[(o(0), reader.id())]);
+        }
+        // Window around that reader.
+        let qid = sys
+            .register_range(Rect::centered(reader.position(), 10.0, 6.0))
+            .unwrap();
+        let report = sys.evaluate(5);
+        let rs = &report.range_results[&qid];
+        assert!(
+            rs.probability(o(0)) > 0.3,
+            "object should very likely be in the window, got {}",
+            rs.probability(o(0))
+        );
+        assert_eq!(report.candidates_processed, 1);
+        assert_eq!(report.objects_known, 1);
+    }
+
+    #[test]
+    fn end_to_end_knn_query_ranks_by_proximity() {
+        let mut sys = system();
+        let near = sys.readers()[0];
+        let far = sys.readers()[18];
+        for s in 0..3u64 {
+            sys.ingest_detections(s, &[(o(0), near.id()), (o(1), far.id())]);
+        }
+        let qid = sys.register_knn(near.position(), 1).unwrap();
+        let report = sys.evaluate(3);
+        let rs = &report.knn_results[&qid];
+        assert!(rs.probability(o(0)) > rs.probability(o(1)));
+    }
+
+    #[test]
+    fn pruning_reduces_processed_candidates() {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut sys = IndoorQuerySystem::new(plan, SystemConfig::default(), 7);
+        // Two objects at opposite ends; a single tight window near one.
+        let near = sys.readers()[0];
+        let far = sys.readers()[18];
+        sys.ingest_detections(0, &[(o(0), near.id()), (o(1), far.id())]);
+        sys.register_range(Rect::centered(near.position(), 6.0, 4.0))
+            .unwrap();
+        let report = sys.evaluate(0);
+        assert_eq!(report.candidates_processed, 1, "far object pruned");
+        assert_eq!(report.objects_known, 2);
+
+        // Same setup without pruning: both processed.
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let cfg = SystemConfig {
+            prune_candidates: false,
+            ..Default::default()
+        };
+        let mut sys2 = IndoorQuerySystem::new(plan, cfg, 7);
+        sys2.ingest_detections(0, &[(o(0), near.id()), (o(1), far.id())]);
+        sys2.register_range(Rect::centered(near.position(), 6.0, 4.0))
+            .unwrap();
+        let report2 = sys2.evaluate(0);
+        assert_eq!(report2.candidates_processed, 2);
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_evaluation() {
+        let mut sys = system();
+        let reader = sys.readers()[4];
+        for s in 0..3u64 {
+            sys.ingest_detections(s, &[(o(0), reader.id())]);
+        }
+        sys.register_range(Rect::centered(reader.position(), 8.0, 6.0))
+            .unwrap();
+        let r1 = sys.evaluate(3);
+        assert_eq!(r1.cache_stats.hits, 0);
+        sys.ingest_detections(4, &[]);
+        let r2 = sys.evaluate(4);
+        assert!(r2.cache_stats.hits >= 1, "second evaluation reuses cache");
+    }
+
+    #[test]
+    fn ptknn_through_facade() {
+        let mut sys = system();
+        let near = sys.readers()[0];
+        let far = sys.readers()[18];
+        for s in 0..3u64 {
+            sys.ingest_detections(s, &[(o(0), near.id()), (o(1), far.id())]);
+        }
+        let qid = sys.register_ptknn(near.position(), 1, 0.5).unwrap();
+        let report = sys.evaluate(3);
+        let rs = &report.ptknn_results[&qid];
+        assert!(rs.probability(o(0)) > 0.5, "o0 is the confident 1NN");
+        assert_eq!(rs.probability(o(1)), 0.0);
+    }
+
+    #[test]
+    fn closest_pairs_through_facade() {
+        let mut sys = system();
+        let r0 = sys.readers()[0];
+        let r1 = sys.readers()[1];
+        let r18 = sys.readers()[18];
+        for s in 0..3u64 {
+            sys.ingest_detections(
+                s,
+                &[(o(0), r0.id()), (o(1), r1.id()), (o(2), r18.id())],
+            );
+        }
+        let qid = sys.register_closest_pairs(1, 20.0).unwrap();
+        let report = sys.evaluate(3);
+        let pairs = &report.closest_pairs_results[&qid];
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].a, pairs[0].b), (o(0), o(1)));
+        // All three objects were preprocessed (closest-pairs is global).
+        assert_eq!(report.candidates_processed, 3);
+    }
+
+    #[test]
+    fn evaluation_with_no_queries_is_cheap_and_empty() {
+        let mut sys = system();
+        sys.ingest_detections(0, &[(o(0), sys.readers()[0].id())]);
+        let report = sys.evaluate(0);
+        assert!(report.range_results.is_empty());
+        assert!(report.knn_results.is_empty());
+        assert_eq!(
+            report.candidates_processed, 0,
+            "no queries → nothing preprocessed"
+        );
+    }
+}

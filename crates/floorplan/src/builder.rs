@@ -1,0 +1,295 @@
+//! Fluent construction and validation of floor plans.
+
+use crate::{Door, DoorId, FloorPlan, FloorPlanError, Hallway, HallwayId, Room, RoomId};
+use ripq_geom::{Point2, Rect};
+
+/// Positional tolerance for "door sits on the shared boundary" checks.
+const DOOR_TOLERANCE: f64 = 1e-6;
+
+/// Builder assembling a [`FloorPlan`] and validating its topology.
+///
+/// Invariants enforced by [`FloorPlanBuilder::build`]:
+///
+/// 1. at least one hallway exists;
+/// 2. every room / hallway footprint has positive area;
+/// 3. room footprints are pairwise interior-disjoint, and disjoint from
+///    every hallway footprint (hallways *may* overlap each other — that is
+///    a crossing);
+/// 4. every door references existing entities and lies on the boundary of
+///    both its room and its hallway;
+/// 5. every room has at least one door;
+/// 6. the hallway network (hallways as vertices, footprint overlaps as
+///    edges) is connected.
+#[derive(Debug, Default)]
+pub struct FloorPlanBuilder {
+    rooms: Vec<Room>,
+    hallways: Vec<Hallway>,
+    doors: Vec<Door>,
+}
+
+impl FloorPlanBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a room and returns its id.
+    pub fn add_room(&mut self, footprint: Rect, name: impl Into<String>) -> RoomId {
+        let id = RoomId::new(self.rooms.len() as u32);
+        self.rooms.push(Room::new(id, footprint, name));
+        id
+    }
+
+    /// Adds a hallway and returns its id.
+    pub fn add_hallway(&mut self, footprint: Rect, name: impl Into<String>) -> HallwayId {
+        let id = HallwayId::new(self.hallways.len() as u32);
+        self.hallways.push(Hallway::new(id, footprint, name));
+        id
+    }
+
+    /// Adds a door at `position` connecting `room` and `hallway`.
+    pub fn add_door(&mut self, position: Point2, room: RoomId, hallway: HallwayId) -> DoorId {
+        let id = DoorId::new(self.doors.len() as u32);
+        self.doors.push(Door::new(id, position, room, hallway));
+        id
+    }
+
+    /// Convenience: adds a door at the midpoint of the shared boundary of
+    /// `room` and `hallway`. Returns `None` when the footprints share no
+    /// boundary.
+    pub fn add_door_between(&mut self, room: RoomId, hallway: HallwayId) -> Option<DoorId> {
+        let r = self.rooms.get(room.index())?.footprint().inflate(1e-9);
+        let h = self.hallways.get(hallway.index())?.footprint();
+        let shared = r.intersection(h)?;
+        Some(self.add_door(shared.center(), room, hallway))
+    }
+
+    /// Validates the plan and produces the immutable [`FloorPlan`].
+    pub fn build(mut self) -> Result<FloorPlan, FloorPlanError> {
+        if self.hallways.is_empty() {
+            return Err(FloorPlanError::NoHallways);
+        }
+        for r in &self.rooms {
+            if r.footprint().area() <= 0.0 {
+                return Err(FloorPlanError::EmptyRoom(r.id()));
+            }
+        }
+        for h in &self.hallways {
+            if h.footprint().area() <= 0.0 {
+                return Err(FloorPlanError::EmptyHallway(h.id()));
+            }
+        }
+        // Interior disjointness: positive-area overlap is an error; touching
+        // boundaries are fine.
+        for (i, a) in self.rooms.iter().enumerate() {
+            for b in &self.rooms[i + 1..] {
+                if a.footprint().intersection_area(b.footprint()) > DOOR_TOLERANCE {
+                    return Err(FloorPlanError::RoomsOverlap(a.id(), b.id()));
+                }
+            }
+        }
+        for r in &self.rooms {
+            for h in &self.hallways {
+                if r.footprint().intersection_area(h.footprint()) > DOOR_TOLERANCE {
+                    return Err(FloorPlanError::RoomOverlapsHallway(r.id(), h.id()));
+                }
+            }
+        }
+        // Door validity.
+        for d in &self.doors {
+            let room = self
+                .rooms
+                .get(d.room().index())
+                .ok_or(FloorPlanError::DanglingDoorRoom(d.id(), d.room()))?;
+            let hall = self
+                .hallways
+                .get(d.hallway().index())
+                .ok_or(FloorPlanError::DanglingDoorHallway(d.id(), d.hallway()))?;
+            let on_room = room.footprint().distance_to_point(d.position()) <= DOOR_TOLERANCE;
+            let on_hall = hall.footprint().distance_to_point(d.position()) <= DOOR_TOLERANCE;
+            if !(on_room && on_hall) {
+                return Err(FloorPlanError::DoorOffBoundary(d.id()));
+            }
+        }
+        // Attach doors to rooms; every room needs one.
+        let door_list: Vec<(DoorId, RoomId)> =
+            self.doors.iter().map(|d| (d.id(), d.room())).collect();
+        for (did, rid) in door_list {
+            self.rooms[rid.index()].push_door(did);
+        }
+        for r in &self.rooms {
+            if r.doors().is_empty() {
+                return Err(FloorPlanError::UnreachableRoom(r.id()));
+            }
+        }
+        // Hallway connectivity via footprint overlaps (BFS).
+        let n = self.hallways.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            let reachable: Vec<usize> = (0..n)
+                .filter(|&j| {
+                    !seen[j]
+                        && self.hallways[i]
+                            .footprint()
+                            .intersects(self.hallways[j].footprint())
+                })
+                .collect();
+            for j in reachable {
+                seen[j] = true;
+                stack.push(j);
+            }
+        }
+        if let Some(j) = seen.iter().position(|s| !s) {
+            return Err(FloorPlanError::DisconnectedHallways {
+                reachable: HallwayId::new(0),
+                unreachable: HallwayId::new(j as u32),
+            });
+        }
+
+        // Bounds = union of all footprints.
+        let mut bounds = *self.hallways[0].footprint();
+        for h in &self.hallways {
+            bounds = bounds.union(h.footprint());
+        }
+        for r in &self.rooms {
+            bounds = bounds.union(r.footprint());
+        }
+
+        Ok(FloorPlan {
+            rooms: self.rooms,
+            hallways: self.hallways,
+            doors: self.doors,
+            bounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One hallway at y ∈ [9,11], one room below it with a door at (5, 9).
+    fn simple_builder() -> (FloorPlanBuilder, RoomId, HallwayId) {
+        let mut b = FloorPlanBuilder::new();
+        let h = b.add_hallway(Rect::new(0.0, 9.0, 20.0, 2.0), "H0");
+        let r = b.add_room(Rect::new(0.0, 1.0, 10.0, 8.0), "R0");
+        (b, r, h)
+    }
+
+    #[test]
+    fn valid_minimal_plan() {
+        let (mut b, r, h) = simple_builder();
+        b.add_door(Point2::new(5.0, 9.0), r, h);
+        let plan = b.build().expect("valid");
+        assert_eq!(plan.rooms().len(), 1);
+        assert_eq!(plan.room(r).doors().len(), 1);
+        assert_eq!(plan.bounds(), Rect::new(0.0, 1.0, 20.0, 10.0));
+    }
+
+    #[test]
+    fn no_hallways_rejected() {
+        let b = FloorPlanBuilder::new();
+        assert_eq!(b.build().unwrap_err(), FloorPlanError::NoHallways);
+    }
+
+    #[test]
+    fn empty_room_rejected() {
+        let mut b = FloorPlanBuilder::new();
+        b.add_hallway(Rect::new(0.0, 0.0, 10.0, 2.0), "H0");
+        let r = b.add_room(Rect::new(0.0, 2.0, 0.0, 5.0), "empty");
+        assert_eq!(b.build().unwrap_err(), FloorPlanError::EmptyRoom(r));
+    }
+
+    #[test]
+    fn overlapping_rooms_rejected() {
+        let mut b = FloorPlanBuilder::new();
+        let h = b.add_hallway(Rect::new(0.0, 9.0, 20.0, 2.0), "H0");
+        let r1 = b.add_room(Rect::new(0.0, 1.0, 10.0, 8.0), "R0");
+        let r2 = b.add_room(Rect::new(5.0, 1.0, 10.0, 8.0), "R1");
+        b.add_door(Point2::new(5.0, 9.0), r1, h);
+        b.add_door(Point2::new(12.0, 9.0), r2, h);
+        assert_eq!(b.build().unwrap_err(), FloorPlanError::RoomsOverlap(r1, r2));
+    }
+
+    #[test]
+    fn touching_rooms_allowed() {
+        let mut b = FloorPlanBuilder::new();
+        let h = b.add_hallway(Rect::new(0.0, 9.0, 20.0, 2.0), "H0");
+        let r1 = b.add_room(Rect::new(0.0, 1.0, 10.0, 8.0), "R0");
+        let r2 = b.add_room(Rect::new(10.0, 1.0, 10.0, 8.0), "R1");
+        b.add_door(Point2::new(5.0, 9.0), r1, h);
+        b.add_door(Point2::new(15.0, 9.0), r2, h);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn room_overlapping_hallway_rejected() {
+        let mut b = FloorPlanBuilder::new();
+        let h = b.add_hallway(Rect::new(0.0, 9.0, 20.0, 2.0), "H0");
+        let r = b.add_room(Rect::new(0.0, 5.0, 10.0, 5.0), "R0"); // pokes into hallway
+        b.add_door(Point2::new(5.0, 9.0), r, h);
+        assert_eq!(
+            b.build().unwrap_err(),
+            FloorPlanError::RoomOverlapsHallway(r, h)
+        );
+    }
+
+    #[test]
+    fn door_off_boundary_rejected() {
+        let (mut b, r, h) = simple_builder();
+        let d = b.add_door(Point2::new(5.0, 5.0), r, h); // inside the room, not on hallway
+        assert_eq!(b.build().unwrap_err(), FloorPlanError::DoorOffBoundary(d));
+    }
+
+    #[test]
+    fn dangling_door_room_rejected() {
+        let (mut b, _r, h) = simple_builder();
+        let bogus = RoomId::new(42);
+        let d = b.add_door(Point2::new(5.0, 9.0), bogus, h);
+        assert_eq!(
+            b.build().unwrap_err(),
+            FloorPlanError::DanglingDoorRoom(d, bogus)
+        );
+    }
+
+    #[test]
+    fn room_without_door_rejected() {
+        let (b, r, _h) = simple_builder();
+        assert_eq!(b.build().unwrap_err(), FloorPlanError::UnreachableRoom(r));
+    }
+
+    #[test]
+    fn disconnected_hallways_rejected() {
+        let mut b = FloorPlanBuilder::new();
+        b.add_hallway(Rect::new(0.0, 0.0, 10.0, 2.0), "H0");
+        let h1 = b.add_hallway(Rect::new(0.0, 20.0, 10.0, 2.0), "H1");
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err,
+            FloorPlanError::DisconnectedHallways {
+                reachable: HallwayId::new(0),
+                unreachable: h1,
+            }
+        );
+    }
+
+    #[test]
+    fn add_door_between_uses_shared_boundary() {
+        let (mut b, r, h) = simple_builder();
+        let d = b.add_door_between(r, h).expect("shared boundary exists");
+        let plan = b.build().expect("valid");
+        let door = plan.door(d);
+        // Midpoint of the shared boundary segment [0,10] × {9}.
+        assert!(door.position().approx_eq(Point2::new(5.0, 9.0)));
+    }
+
+    #[test]
+    fn add_door_between_disjoint_returns_none() {
+        let mut b = FloorPlanBuilder::new();
+        let h = b.add_hallway(Rect::new(0.0, 9.0, 20.0, 2.0), "H0");
+        let r = b.add_room(Rect::new(0.0, 20.0, 5.0, 5.0), "far");
+        assert!(b.add_door_between(r, h).is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! Validation errors produced while assembling a floor plan.
+
+use crate::{DoorId, HallwayId, RoomId};
+use std::fmt;
+
+/// An inconsistency detected while validating a floor plan.
+///
+/// [`crate::FloorPlanBuilder::build`] checks the plan's topology up front so
+/// that every downstream component (walking-graph construction, reader
+/// deployment, simulation) can rely on a well-formed plan and stay
+/// panic-free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloorPlanError {
+    /// The plan contains no hallway; the walking graph would be empty.
+    NoHallways,
+    /// A room footprint has zero (or negative) area.
+    EmptyRoom(RoomId),
+    /// A hallway footprint has zero (or negative) area.
+    EmptyHallway(HallwayId),
+    /// Two rooms overlap with positive area.
+    RoomsOverlap(RoomId, RoomId),
+    /// A room and a hallway overlap with positive area.
+    RoomOverlapsHallway(RoomId, HallwayId),
+    /// A door references a room id that does not exist.
+    DanglingDoorRoom(DoorId, RoomId),
+    /// A door references a hallway id that does not exist.
+    DanglingDoorHallway(DoorId, HallwayId),
+    /// A door's position does not lie on the shared boundary of its room
+    /// and hallway (within tolerance).
+    DoorOffBoundary(DoorId),
+    /// A room has no door at all and is therefore unreachable.
+    UnreachableRoom(RoomId),
+    /// The hallway network is not connected: objects in one hallway could
+    /// never be observed walking into another.
+    DisconnectedHallways {
+        /// A hallway in the main connected component.
+        reachable: HallwayId,
+        /// A hallway that cannot be reached from it.
+        unreachable: HallwayId,
+    },
+}
+
+impl fmt::Display for FloorPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorPlanError::NoHallways => write!(f, "floor plan has no hallways"),
+            FloorPlanError::EmptyRoom(r) => write!(f, "room {r} has an empty footprint"),
+            FloorPlanError::EmptyHallway(h) => write!(f, "hallway {h} has an empty footprint"),
+            FloorPlanError::RoomsOverlap(a, b) => write!(f, "rooms {a} and {b} overlap"),
+            FloorPlanError::RoomOverlapsHallway(r, h) => {
+                write!(f, "room {r} overlaps hallway {h}")
+            }
+            FloorPlanError::DanglingDoorRoom(d, r) => {
+                write!(f, "door {d} references unknown room {r}")
+            }
+            FloorPlanError::DanglingDoorHallway(d, h) => {
+                write!(f, "door {d} references unknown hallway {h}")
+            }
+            FloorPlanError::DoorOffBoundary(d) => {
+                write!(f, "door {d} is not on the room/hallway shared boundary")
+            }
+            FloorPlanError::UnreachableRoom(r) => write!(f, "room {r} has no door"),
+            FloorPlanError::DisconnectedHallways {
+                reachable,
+                unreachable,
+            } => write!(
+                f,
+                "hallway {unreachable} is not connected to hallway {reachable}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FloorPlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FloorPlanError::RoomsOverlap(RoomId::new(1), RoomId::new(2));
+        assert_eq!(e.to_string(), "rooms R1 and R2 overlap");
+        let e = FloorPlanError::DisconnectedHallways {
+            reachable: HallwayId::new(0),
+            unreachable: HallwayId::new(3),
+        };
+        assert!(e.to_string().contains("H3"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&FloorPlanError::NoHallways);
+    }
+}

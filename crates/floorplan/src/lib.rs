@@ -1,0 +1,51 @@
+//! # ripq-floorplan — indoor floor plan model for RIPQ
+//!
+//! The EDBT 2013 paper evaluates its system in "a typical office building"
+//! with rooms connected to hallways by doors (§4.2, §5). This crate models
+//! exactly that class of floor plan:
+//!
+//! * [`Hallway`] — an axis-aligned rectangular corridor whose centerline
+//!   carries all RFID readers and most of the walking graph;
+//! * [`Room`] — an axis-aligned rectangular room adjacent to one or more
+//!   hallways;
+//! * [`Door`] — a point on the shared boundary of a room and a hallway;
+//! * [`FloorPlan`] — the validated collection, with point-location queries.
+//!
+//! Plans are constructed through [`FloorPlanBuilder`], which validates the
+//! topology (doors actually sit on shared boundaries, rooms do not overlap
+//! hallways, every room has a door, …) and returns typed
+//! [`FloorPlanError`]s instead of panicking.
+//!
+//! [`office_building`] generates the paper's experimental environment: a
+//! single floor with **30 rooms and 4 hallways** where "all rooms are
+//! connected to one or more hallways by doors" (§5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Further generators for the paper's other motivating venues:
+//! [`shopping_mall`] and [`subway_station`].
+
+mod builder;
+mod door;
+mod error;
+mod hallway;
+mod ids;
+mod mall;
+mod multifloor;
+mod office;
+mod plan;
+mod room;
+mod subway;
+
+pub use builder::FloorPlanBuilder;
+pub use door::Door;
+pub use error::FloorPlanError;
+pub use hallway::{Axis, Hallway};
+pub use ids::{DoorId, HallwayId, RoomId};
+pub use mall::{shopping_mall, MallParams};
+pub use multifloor::{multi_floor_office, MultiFloorParams};
+pub use office::{office_building, OfficeParams};
+pub use plan::{FloorPlan, Location};
+pub use room::Room;
+pub use subway::{subway_station, SubwayParams};

@@ -1,0 +1,97 @@
+//! # ripq-geom — 2-D geometric primitives for RIPQ
+//!
+//! This crate provides the small set of planar geometry types that the rest
+//! of the RIPQ workspace builds on: [`Point2`], axis-aligned rectangles
+//! ([`Rect`]) and line segments ([`Segment`]).
+//!
+//! Indoor floor plans in the EDBT 2013 paper are rectilinear: rooms and
+//! hallways are axis-aligned rectangles and hallway centerlines are
+//! axis-aligned segments, so these three types (plus a handful of scalar
+//! helpers) are sufficient for the whole system — no general polygon
+//! machinery is needed.
+//!
+//! All coordinates are in **meters**, matching the paper's real-world
+//! parameters (1 m anchor spacing, 2 m reader activation range, 1 m/s mean
+//! walking speed).
+//!
+//! # Example
+//!
+//! ```
+//! use ripq_geom::{Point2, Rect, Segment};
+//!
+//! let hallway = Rect::new(0.0, 9.0, 50.0, 2.0);
+//! let centerline = Segment::new(Point2::new(0.0, 10.0), Point2::new(50.0, 10.0));
+//! // A reader's activation disk covers a 2·√3 m chord of the centerline.
+//! let (lo, hi) = centerline
+//!     .circle_overlap_interval(Point2::new(25.0, 9.0), 2.0)
+//!     .unwrap();
+//! assert!((hi - lo - 2.0 * 3.0f64.sqrt()).abs() < 1e-9);
+//! assert!(hallway.contains(centerline.point_at(lo)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod point;
+mod rect;
+mod segment;
+
+pub use point::Point2;
+pub use rect::Rect;
+pub use segment::Segment;
+
+/// Comparison tolerance used throughout the workspace for geometric
+/// predicates on `f64` coordinates (1 nm — far below any indoor feature).
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` when two floating-point scalars are within [`EPSILON`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON
+}
+
+/// Linearly interpolates between `a` and `b` by `t ∈ [0, 1]`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Clamps `x` into `[lo, hi]`.
+///
+/// Unlike [`f64::clamp`] this never panics: if `lo > hi` the midpoint of the
+/// (degenerate) interval is returned, which keeps hot query paths panic-free
+/// in the presence of rounding noise.
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    if lo > hi {
+        return (lo + hi) * 0.5;
+    }
+    x.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_within_epsilon() {
+        assert!(approx_eq(1.0, 1.0 + EPSILON / 2.0));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        assert_eq!(lerp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(lerp(2.0, 4.0, 0.5), 3.0);
+    }
+
+    #[test]
+    fn clamp_is_total() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.3, 0.0, 1.0), 0.3);
+        // Inverted interval does not panic.
+        assert_eq!(clamp(0.3, 1.0, 0.0), 0.5);
+    }
+}

@@ -1,0 +1,180 @@
+//! The `APtoObjHT` hash table of the paper (§4.2).
+//!
+//! "A hash table APtoObjHT is maintained in our system with the key to be
+//! the coordinates of an anchor point ap_j and returned value the list of
+//! each object and its probability at the anchor point ⟨oᵢ, pᵢ(ap_j)⟩."
+//!
+//! We key by [`AnchorId`] instead of raw coordinates (ids are bijective
+//! with coordinates and hash exactly), and additionally maintain the
+//! inverse view (object → its anchor distribution) because both query
+//! evaluation (anchor → objects) and accuracy metrics (object → anchors)
+//! need fast access.
+
+use crate::AnchorId;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Bidirectional anchor ↔ object probability index, generic over the
+/// object key type (RIPQ instantiates it with its `ObjectId`).
+#[derive(Debug, Clone)]
+pub struct AnchorObjectIndex<K> {
+    by_anchor: HashMap<AnchorId, Vec<(K, f64)>>,
+    by_object: HashMap<K, Vec<(AnchorId, f64)>>,
+}
+
+impl<K> Default for AnchorObjectIndex<K> {
+    fn default() -> Self {
+        AnchorObjectIndex {
+            by_anchor: HashMap::new(),
+            by_object: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Copy + Eq + Hash> AnchorObjectIndex<K> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the distribution of `object` with `dist`.
+    ///
+    /// Entries with non-positive probability are dropped. Any previous
+    /// distribution of the object is removed from the anchor side first, so
+    /// repeated preprocessing runs never leave stale probabilities behind.
+    pub fn set_object(&mut self, object: K, dist: Vec<(AnchorId, f64)>) {
+        self.remove_object(&object);
+        let dist: Vec<(AnchorId, f64)> =
+            dist.into_iter().filter(|&(_, p)| p > 0.0).collect();
+        for &(anchor, p) in &dist {
+            self.by_anchor
+                .entry(anchor)
+                .or_default()
+                .push((object, p));
+        }
+        if !dist.is_empty() {
+            self.by_object.insert(object, dist);
+        }
+    }
+
+    /// Removes an object's distribution entirely.
+    pub fn remove_object(&mut self, object: &K) {
+        if let Some(old) = self.by_object.remove(object) {
+            for (anchor, _) in old {
+                if let Some(list) = self.by_anchor.get_mut(&anchor) {
+                    list.retain(|(k, _)| k != object);
+                    if list.is_empty() {
+                        self.by_anchor.remove(&anchor);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The ⟨object, probability⟩ list at an anchor (empty when none).
+    pub fn at_anchor(&self, anchor: AnchorId) -> &[(K, f64)] {
+        self.by_anchor.get(&anchor).map_or(&[], Vec::as_slice)
+    }
+
+    /// An object's anchor distribution, if present.
+    pub fn distribution(&self, object: &K) -> Option<&[(AnchorId, f64)]> {
+        self.by_object.get(object).map(Vec::as_slice)
+    }
+
+    /// Total probability mass currently stored for `object` (0 when absent;
+    /// ≈ 1 after a particle-filter run).
+    pub fn total_probability(&self, object: &K) -> f64 {
+        self.distribution(object)
+            .map_or(0.0, |d| d.iter().map(|(_, p)| p).sum())
+    }
+
+    /// Iterator over all objects with a stored distribution.
+    pub fn objects(&self) -> impl Iterator<Item = &K> {
+        self.by_object.keys()
+    }
+
+    /// Number of objects with a stored distribution.
+    pub fn object_count(&self) -> usize {
+        self.by_object.len()
+    }
+
+    /// Number of anchors with at least one entry.
+    pub fn anchor_count(&self) -> usize {
+        self.by_anchor.len()
+    }
+
+    /// Clears everything.
+    pub fn clear(&mut self) {
+        self.by_anchor.clear();
+        self.by_object.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap(i: u32) -> AnchorId {
+        AnchorId::new(i)
+    }
+
+    #[test]
+    fn set_and_lookup() {
+        let mut idx: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        idx.set_object(1, vec![(ap(0), 0.25), (ap(1), 0.75)]);
+        idx.set_object(2, vec![(ap(1), 1.0)]);
+
+        assert_eq!(idx.at_anchor(ap(0)), &[(1, 0.25)]);
+        assert_eq!(idx.at_anchor(ap(1)), &[(1, 0.75), (2, 1.0)]);
+        assert!(idx.at_anchor(ap(9)).is_empty());
+        assert_eq!(idx.object_count(), 2);
+        assert_eq!(idx.anchor_count(), 2);
+        assert!((idx.total_probability(&1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replacing_removes_stale_entries() {
+        let mut idx: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        idx.set_object(1, vec![(ap(0), 1.0)]);
+        idx.set_object(1, vec![(ap(5), 1.0)]);
+        assert!(idx.at_anchor(ap(0)).is_empty());
+        assert_eq!(idx.at_anchor(ap(5)), &[(1, 1.0)]);
+        assert_eq!(idx.object_count(), 1);
+    }
+
+    #[test]
+    fn remove_object_cleans_both_sides() {
+        let mut idx: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        idx.set_object(1, vec![(ap(0), 0.5), (ap(1), 0.5)]);
+        idx.remove_object(&1);
+        assert_eq!(idx.object_count(), 0);
+        assert_eq!(idx.anchor_count(), 0);
+        assert!(idx.distribution(&1).is_none());
+    }
+
+    #[test]
+    fn zero_probability_entries_dropped() {
+        let mut idx: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        idx.set_object(1, vec![(ap(0), 0.0), (ap(1), -0.5), (ap(2), 1.0)]);
+        assert!(idx.at_anchor(ap(0)).is_empty());
+        assert!(idx.at_anchor(ap(1)).is_empty());
+        assert_eq!(idx.at_anchor(ap(2)), &[(1, 1.0)]);
+    }
+
+    #[test]
+    fn empty_distribution_means_absent_object() {
+        let mut idx: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        idx.set_object(1, vec![]);
+        assert_eq!(idx.object_count(), 0);
+        assert_eq!(idx.total_probability(&1), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut idx: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        idx.set_object(1, vec![(ap(0), 1.0)]);
+        idx.clear();
+        assert_eq!(idx.object_count(), 0);
+        assert_eq!(idx.anchor_count(), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The cache management module (§4.5).
+//!
+//! "Insertion to the cache happens every time when Algorithm 2 is done for
+//! an object oᵢ. In case near future queries need to determine the location
+//! distribution for the same object oᵢ again, we do not need to run the
+//! Particle Filter algorithm from the start; instead, previous computation
+//! is reused by retrieving the particles of oᵢ from the cache and resuming
+//! the Particle Filter algorithm from the cache-stored time stamp."
+//!
+//! Invalidation follows the paper exactly: "we decide to discard processed
+//! particles of oᵢ from the cache every time oᵢ is detected by a new
+//! device" — implemented by keying each entry with the identity of the
+//! detection episode it was filtered under.
+
+use crate::IndoorState;
+use ripq_rfid::{ObjectId, ReaderId};
+use std::collections::HashMap;
+
+/// An episode identity: the most recent detecting reader plus the second
+/// its episode began. A new episode (new device, or the same device after
+/// a long gap) produces a different key and therefore a cache miss.
+pub type EpisodeKey = (ReaderId, u64);
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    particles: Vec<IndoorState>,
+    /// The simulated second the particle states correspond to.
+    timestamp: u64,
+    episode: EpisodeKey,
+}
+
+/// Hit/miss counters for cache effectiveness reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found reusable particles.
+    pub hits: u64,
+    /// Lookups that found nothing (or a stale episode).
+    pub misses: u64,
+    /// Entries evicted because the object was detected by a new device.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Particle-state cache, one entry per object.
+#[derive(Debug, Default)]
+pub struct ParticleCache {
+    entries: HashMap<ObjectId, CacheEntry>,
+    stats: CacheStats,
+}
+
+impl ParticleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up reusable particles for `object`, valid only if they were
+    /// filtered under the same detection episode `current_episode`.
+    /// Returns the cached states and their timestamp on a hit.
+    pub fn lookup(
+        &mut self,
+        object: ObjectId,
+        current_episode: EpisodeKey,
+    ) -> Option<(Vec<IndoorState>, u64)> {
+        match self.entries.get(&object) {
+            Some(e) if e.episode == current_episode => {
+                self.stats.hits += 1;
+                Some((e.particles.clone(), e.timestamp))
+            }
+            Some(_) => {
+                // Detected by a new device since this entry was stored:
+                // discard it, per §4.5.
+                self.entries.remove(&object);
+                self.stats.misses += 1;
+                self.stats.invalidations += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the post-filtering particle states of `object` at simulated
+    /// second `timestamp`, tagged with the episode they were filtered
+    /// under.
+    pub fn store(
+        &mut self,
+        object: ObjectId,
+        particles: Vec<IndoorState>,
+        timestamp: u64,
+        episode: EpisodeKey,
+    ) {
+        self.entries.insert(
+            object,
+            CacheEntry {
+                particles,
+                timestamp,
+                episode,
+            },
+        );
+    }
+
+    /// Drops an object's entry.
+    pub fn invalidate(&mut self, object: ObjectId) {
+        if self.entries.remove(&object).is_some() {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears all entries (keeps statistics).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Heading;
+    use ripq_graph::{EdgeId, GraphPos};
+
+    fn particle(offset: f64) -> IndoorState {
+        IndoorState {
+            pos: GraphPos::new(EdgeId::new(0), offset),
+            heading: Heading::TowardB,
+            speed: 1.0,
+        }
+    }
+
+    const O: ObjectId = ObjectId::new(1);
+    const EP1: EpisodeKey = (ReaderId::new(3), 100);
+    const EP2: EpisodeKey = (ReaderId::new(4), 120);
+
+    #[test]
+    fn store_then_hit() {
+        let mut c = ParticleCache::new();
+        c.store(O, vec![particle(1.0)], 110, EP1);
+        let (states, t) = c.lookup(O, EP1).expect("hit");
+        assert_eq!(states.len(), 1);
+        assert_eq!(t, 110);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn new_episode_invalidates() {
+        let mut c = ParticleCache::new();
+        c.store(O, vec![particle(1.0)], 110, EP1);
+        assert!(c.lookup(O, EP2).is_none());
+        assert_eq!(c.stats().invalidations, 1);
+        // Entry is gone entirely.
+        assert!(c.is_empty());
+        assert!(c.lookup(O, EP1).is_none());
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn unknown_object_misses() {
+        let mut c = ParticleCache::new();
+        assert!(c.lookup(O, EP1).is_none());
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = ParticleCache::new();
+        c.store(O, vec![particle(0.0)], 5, EP1);
+        let _ = c.lookup(O, EP1);
+        let _ = c.lookup(O, EP1);
+        let _ = c.lookup(ObjectId::new(9), EP1);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_invalidation() {
+        let mut c = ParticleCache::new();
+        c.store(O, vec![particle(0.0)], 5, EP1);
+        c.invalidate(O);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidations, 1);
+        // Double-invalidation is a no-op.
+        c.invalidate(O);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn store_overwrites() {
+        let mut c = ParticleCache::new();
+        c.store(O, vec![particle(0.0)], 5, EP1);
+        c.store(O, vec![particle(9.0), particle(8.0)], 7, EP1);
+        let (states, t) = c.lookup(O, EP1).unwrap();
+        assert_eq!(states.len(), 2);
+        assert_eq!(t, 7);
+        assert_eq!(c.len(), 1);
+    }
+}

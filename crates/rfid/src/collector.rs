@@ -1,0 +1,581 @@
+//! The event-driven raw data collector (§4.1).
+//!
+//! Responsibilities, straight from the paper:
+//!
+//! * aggregate tens of raw samples per second into "more concise entries
+//!   with a time unit of one second" — which "greatly reduce[s] the
+//!   detecting errors of false negatives";
+//! * define ENTER/LEAVE events per (object, reader) and store readings only
+//!   "during the most recent ENTER, LEAVE, ENTER events", i.e. readings of
+//!   up to the two most recent detection episodes per object, removing
+//!   earlier history.
+
+use crate::{ObjectId, RawReading, ReaderId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Kind of a detection-range event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The object entered a reader's detection range.
+    Enter,
+    /// The object left a reader's detection range.
+    Leave,
+}
+
+/// An ENTER or LEAVE event for one object at one reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RfidEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// The reader whose range was entered/left.
+    pub reader: ReaderId,
+    /// The second it happened (for LEAVE: the first second *without* a
+    /// detection).
+    pub second: u64,
+}
+
+/// One maximal run of consecutive per-second detections by a single reader.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Episode {
+    reader: ReaderId,
+    first_second: u64,
+    last_second: u64,
+}
+
+/// Per-object collector state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ObjectState {
+    /// Second of `entries[0]`.
+    start_second: u64,
+    /// One aggregated entry per second from `start_second`; `None` = the
+    /// object was not detected that second.
+    entries: Vec<Option<ReaderId>>,
+    /// Up to the two most recent episodes, oldest first.
+    episodes: Vec<Episode>,
+    /// Second of the most recent detection.
+    last_detection: u64,
+    /// Recent ENTER/LEAVE events (bounded).
+    events: Vec<RfidEvent>,
+}
+
+/// Read-only view of an object's retained aggregated readings.
+#[derive(Debug, Clone, Copy)]
+pub struct AggregatedReadings<'a> {
+    /// Second of the first retained entry (`t0` in Algorithm 2).
+    pub start_second: u64,
+    /// One entry per second starting at `start_second`.
+    pub entries: &'a [Option<ReaderId>],
+}
+
+impl AggregatedReadings<'_> {
+    /// The aggregated entry for an absolute second, or `None` when out of
+    /// the retained window.
+    pub fn entry_at(&self, second: u64) -> Option<Option<ReaderId>> {
+        let idx = second.checked_sub(self.start_second)? as usize;
+        self.entries.get(idx).copied()
+    }
+
+    /// Second of the last retained entry.
+    pub fn end_second(&self) -> u64 {
+        self.start_second + self.entries.len().saturating_sub(1) as u64
+    }
+}
+
+/// The event-driven raw data collector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataCollector {
+    objects: HashMap<ObjectId, ObjectState>,
+    current_second: Option<u64>,
+    /// Re-detections by the same reader within this many seconds continue
+    /// the same episode (tolerates residual aggregation misses).
+    gap_tolerance: u64,
+    /// Stop appending empty entries after this many seconds without any
+    /// detection (the particle filter never looks past 60 s of silence —
+    /// Algorithm 2 line 6).
+    idle_cutoff: u64,
+    /// Max ENTER/LEAVE events kept per object.
+    max_events: usize,
+}
+
+impl Default for DataCollector {
+    fn default() -> Self {
+        DataCollector {
+            objects: HashMap::new(),
+            current_second: None,
+            gap_tolerance: 2,
+            idle_cutoff: 90,
+            max_events: 32,
+        }
+    }
+}
+
+impl DataCollector {
+    /// Creates a collector with default policies.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests all raw readings of one second (any object mix, unordered
+    /// within the second). Seconds must be fed in non-decreasing order;
+    /// skipped seconds are treated as silent.
+    pub fn ingest_raw_second(&mut self, second: u64, raw: &[RawReading]) {
+        // Per-second aggregation: object → detecting reader (most samples
+        // wins; with disjoint ranges there is only one candidate).
+        let mut counts: HashMap<(ObjectId, ReaderId), u32> = HashMap::new();
+        for r in raw {
+            debug_assert_eq!(r.second(), second, "reading outside its second");
+            *counts.entry((r.object, r.reader)).or_insert(0) += 1;
+        }
+        let mut detected: HashMap<ObjectId, (ReaderId, u32)> = HashMap::new();
+        for ((obj, reader), n) in counts {
+            detected
+                .entry(obj)
+                .and_modify(|e| {
+                    if n > e.1 {
+                        *e = (reader, n);
+                    }
+                })
+                .or_insert((reader, n));
+        }
+        let pairs: Vec<(ObjectId, ReaderId)> =
+            detected.into_iter().map(|(o, (r, _))| (o, r)).collect();
+        self.ingest_second(second, &pairs);
+    }
+
+    /// Ingests pre-aggregated per-second detections: at most one reader per
+    /// object for this second.
+    ///
+    /// Seconds must be fed in non-decreasing order; batches older than the
+    /// newest second already ingested are dropped (late arrivals cannot be
+    /// merged into the aggregated timeline retroactively).
+    pub fn ingest_second(&mut self, second: u64, detections: &[(ObjectId, ReaderId)]) {
+        if let Some(cur) = self.current_second {
+            if second < cur {
+                return; // stale batch
+            }
+        }
+        self.current_second = Some(second);
+
+        let mut det: HashMap<ObjectId, ReaderId> = HashMap::new();
+        for &(o, r) in detections {
+            det.insert(o, r);
+        }
+
+        // Existing objects: append this second's entry (detected or None).
+        let ids: Vec<ObjectId> = self.objects.keys().copied().collect();
+        for id in ids {
+            let reading = det.remove(&id);
+            self.append_entry(id, second, reading);
+        }
+        // Newly seen objects.
+        for (id, reader) in det {
+            self.objects.insert(
+                id,
+                ObjectState {
+                    start_second: second,
+                    entries: Vec::new(),
+                    episodes: Vec::new(),
+                    last_detection: second,
+                    events: Vec::new(),
+                },
+            );
+            self.append_entry(id, second, Some(reader));
+        }
+    }
+
+    fn append_entry(&mut self, id: ObjectId, second: u64, reading: Option<ReaderId>) {
+        let gap_tolerance = self.gap_tolerance;
+        let idle_cutoff = self.idle_cutoff;
+        let max_events = self.max_events;
+        let st = self.objects.get_mut(&id).expect("caller ensures presence");
+
+        // Idle cutoff: don't grow the entry vector unboundedly for silent
+        // objects.
+        if reading.is_none() && second.saturating_sub(st.last_detection) > idle_cutoff {
+            return;
+        }
+
+        // Backfill skipped seconds with None.
+        let expected = st.start_second + st.entries.len() as u64;
+        for _ in expected..second {
+            st.entries.push(None);
+        }
+        st.entries.push(reading);
+
+        if let Some(reader) = reading {
+            st.last_detection = second;
+            let same_episode = st
+                .episodes
+                .last()
+                .is_some_and(|e| e.reader == reader && second - e.last_second <= gap_tolerance + 1);
+            if same_episode {
+                st.episodes.last_mut().expect("checked").last_second = second;
+            } else {
+                // LEAVE of the previous episode (if it hadn't been closed).
+                if let Some(prev) = st.episodes.last() {
+                    if prev.last_second < second {
+                        let ev = RfidEvent {
+                            kind: EventKind::Leave,
+                            reader: prev.reader,
+                            second: prev.last_second + 1,
+                        };
+                        if st.events.last() != Some(&ev) {
+                            push_event(&mut st.events, ev, max_events);
+                        }
+                    }
+                }
+                st.episodes.push(Episode {
+                    reader,
+                    first_second: second,
+                    last_second: second,
+                });
+                push_event(
+                    &mut st.events,
+                    RfidEvent {
+                        kind: EventKind::Enter,
+                        reader,
+                        second,
+                    },
+                    max_events,
+                );
+                // Retention: keep only the two most recent episodes and
+                // drop entries older than the older episode's start.
+                if st.episodes.len() > 2 {
+                    st.episodes.remove(0);
+                    let keep_from = st.episodes[0].first_second;
+                    let drop = (keep_from - st.start_second) as usize;
+                    st.entries.drain(..drop);
+                    st.start_second = keep_from;
+                }
+            }
+        } else {
+            // First silent second after detections = LEAVE event.
+            if let Some(ep) = st.episodes.last() {
+                if ep.last_second + 1 == second {
+                    push_event(
+                        &mut st.events,
+                        RfidEvent {
+                            kind: EventKind::Leave,
+                            reader: ep.reader,
+                            second,
+                        },
+                        max_events,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The last second fed to the collector.
+    pub fn current_second(&self) -> Option<u64> {
+        self.current_second
+    }
+
+    /// Objects the collector has ever detected.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects.keys().copied()
+    }
+
+    /// The retained aggregated readings of an object.
+    pub fn aggregated(&self, o: ObjectId) -> Option<AggregatedReadings<'_>> {
+        self.objects.get(&o).map(|st| AggregatedReadings {
+            start_second: st.start_second,
+            entries: &st.entries,
+        })
+    }
+
+    /// The most recent detecting reader (`d` in §4.3) and the second it
+    /// last detected the object (`t_last`).
+    pub fn last_detection(&self, o: ObjectId) -> Option<(ReaderId, u64)> {
+        let st = self.objects.get(&o)?;
+        st.episodes.last().map(|e| (e.reader, e.last_second))
+    }
+
+    /// Identity of the most recent detection episode: `(reader,
+    /// first_second, last_second)`. The pair `(reader, first_second)`
+    /// uniquely identifies an episode, which is exactly the invalidation
+    /// granularity the particle cache needs (§4.5: cached particles are
+    /// discarded "every time oᵢ is detected by a new device").
+    pub fn last_episode(&self, o: ObjectId) -> Option<(ReaderId, u64, u64)> {
+        let st = self.objects.get(&o)?;
+        st.episodes
+            .last()
+            .map(|e| (e.reader, e.first_second, e.last_second))
+    }
+
+    /// The second most recent and most recent detecting devices
+    /// (`dᵢ, dⱼ` of Algorithm 2; `dⱼ` is `None` while only one episode
+    /// exists).
+    pub fn last_two_devices(&self, o: ObjectId) -> Option<(ReaderId, Option<ReaderId>)> {
+        let st = self.objects.get(&o)?;
+        match st.episodes.as_slice() {
+            [] => None,
+            [only] => Some((only.reader, None)),
+            [.., prev, last] => Some((prev.reader, Some(last.reader))),
+        }
+    }
+
+    /// Recent ENTER/LEAVE events of an object (bounded, oldest first).
+    pub fn events(&self, o: ObjectId) -> &[RfidEvent] {
+        self.objects
+            .get(&o)
+            .map_or(&[], |st| st.events.as_slice())
+    }
+
+    /// Drops an object's state entirely (e.g. when it exits the building).
+    pub fn forget(&mut self, o: ObjectId) {
+        self.objects.remove(&o);
+    }
+}
+
+fn push_event(events: &mut Vec<RfidEvent>, ev: RfidEvent, cap: usize) {
+    events.push(ev);
+    if events.len() > cap {
+        let excess = events.len() - cap;
+        events.drain(..excess);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: ObjectId = ObjectId::new(0);
+    const D1: ReaderId = ReaderId::new(1);
+    const D2: ReaderId = ReaderId::new(2);
+    const D3: ReaderId = ReaderId::new(3);
+
+    fn feed(collector: &mut DataCollector, plan: &[(u64, Option<ReaderId>)]) {
+        for &(sec, reading) in plan {
+            match reading {
+                Some(r) => collector.ingest_second(sec, &[(O, r)]),
+                None => collector.ingest_second(sec, &[]),
+            }
+        }
+    }
+
+    #[test]
+    fn single_episode_aggregation() {
+        let mut c = DataCollector::new();
+        feed(
+            &mut c,
+            &[(0, Some(D1)), (1, Some(D1)), (2, None), (3, None)],
+        );
+        let agg = c.aggregated(O).unwrap();
+        assert_eq!(agg.start_second, 0);
+        assert_eq!(agg.entries, &[Some(D1), Some(D1), None, None]);
+        assert_eq!(c.last_detection(O), Some((D1, 1)));
+        assert_eq!(c.last_two_devices(O), Some((D1, None)));
+    }
+
+    #[test]
+    fn two_episodes_retained() {
+        let mut c = DataCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, Some(D1)),
+                (1, Some(D1)),
+                (2, None),
+                (3, None),
+                (4, Some(D2)),
+                (5, Some(D2)),
+            ],
+        );
+        let agg = c.aggregated(O).unwrap();
+        assert_eq!(agg.start_second, 0, "both episodes kept");
+        assert_eq!(c.last_two_devices(O), Some((D1, Some(D2))));
+        assert_eq!(c.last_detection(O), Some((D2, 5)));
+    }
+
+    #[test]
+    fn third_device_evicts_first() {
+        let mut c = DataCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, Some(D1)),
+                (1, None),
+                (2, Some(D2)),
+                (3, None),
+                (4, Some(D3)),
+            ],
+        );
+        let agg = c.aggregated(O).unwrap();
+        // Entries before D2's episode (second 2) are dropped.
+        assert_eq!(agg.start_second, 2);
+        assert_eq!(agg.entries, &[Some(D2), None, Some(D3)]);
+        assert_eq!(c.last_two_devices(O), Some((D2, Some(D3))));
+    }
+
+    #[test]
+    fn enter_leave_events() {
+        let mut c = DataCollector::new();
+        feed(
+            &mut c,
+            &[(0, Some(D1)), (1, Some(D1)), (2, None), (3, Some(D2))],
+        );
+        let ev = c.events(O);
+        assert_eq!(
+            ev,
+            &[
+                RfidEvent {
+                    kind: EventKind::Enter,
+                    reader: D1,
+                    second: 0
+                },
+                RfidEvent {
+                    kind: EventKind::Leave,
+                    reader: D1,
+                    second: 2
+                },
+                RfidEvent {
+                    kind: EventKind::Enter,
+                    reader: D2,
+                    second: 3
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn gap_tolerance_merges_same_reader_episodes() {
+        let mut c = DataCollector::new();
+        // One missed second inside D1 coverage: still one episode.
+        feed(
+            &mut c,
+            &[(0, Some(D1)), (1, None), (2, Some(D1)), (3, Some(D1))],
+        );
+        assert_eq!(c.last_two_devices(O), Some((D1, None)));
+        // Events: a LEAVE at 1 was recorded followed by no new ENTER,
+        // because the episode continued.
+        let enters = c
+            .events(O)
+            .iter()
+            .filter(|e| e.kind == EventKind::Enter)
+            .count();
+        assert_eq!(enters, 1);
+    }
+
+    #[test]
+    fn long_gap_same_reader_is_new_episode() {
+        let mut c = DataCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, Some(D1)),
+                (1, None),
+                (2, None),
+                (3, None),
+                (4, None),
+                (5, Some(D1)),
+            ],
+        );
+        // Re-detection after > gap_tolerance: treated as ENTER,LEAVE,ENTER
+        // with the same device, so two episodes of D1 are retained.
+        assert_eq!(c.last_two_devices(O), Some((D1, Some(D1))));
+    }
+
+    #[test]
+    fn idle_cutoff_bounds_entry_growth() {
+        let mut c = DataCollector::new();
+        c.ingest_second(0, &[(O, D1)]);
+        for s in 1..500 {
+            c.ingest_second(s, &[]);
+        }
+        let agg = c.aggregated(O).unwrap();
+        assert!(
+            agg.entries.len() <= 92,
+            "entries bounded by idle cutoff, got {}",
+            agg.entries.len()
+        );
+        // The collector still knows the current second.
+        assert_eq!(c.current_second(), Some(499));
+    }
+
+    #[test]
+    fn raw_ingestion_aggregates_samples() {
+        let mut c = DataCollector::new();
+        let raw: Vec<RawReading> = (0..8)
+            .map(|i| RawReading {
+                time: 5.0 + i as f64 / 10.0,
+                object: O,
+                reader: D1,
+            })
+            .collect();
+        c.ingest_raw_second(5, &raw);
+        let agg = c.aggregated(O).unwrap();
+        assert_eq!(agg.start_second, 5);
+        assert_eq!(agg.entries, &[Some(D1)]);
+    }
+
+    #[test]
+    fn raw_ingestion_majority_reader_wins() {
+        let mut c = DataCollector::new();
+        let mut raw = Vec::new();
+        for i in 0..3 {
+            raw.push(RawReading {
+                time: 1.0 + i as f64 / 10.0,
+                object: O,
+                reader: D1,
+            });
+        }
+        for i in 3..10 {
+            raw.push(RawReading {
+                time: 1.0 + i as f64 / 10.0,
+                object: O,
+                reader: D2,
+            });
+        }
+        c.ingest_raw_second(1, &raw);
+        assert_eq!(c.last_detection(O), Some((D2, 1)));
+    }
+
+    #[test]
+    fn entry_at_lookup() {
+        let mut c = DataCollector::new();
+        feed(&mut c, &[(10, Some(D1)), (11, None), (12, Some(D2))]);
+        let agg = c.aggregated(O).unwrap();
+        assert_eq!(agg.entry_at(10), Some(Some(D1)));
+        assert_eq!(agg.entry_at(11), Some(None));
+        assert_eq!(agg.entry_at(12), Some(Some(D2)));
+        assert_eq!(agg.entry_at(9), None);
+        assert_eq!(agg.entry_at(13), None);
+        assert_eq!(agg.end_second(), 12);
+    }
+
+    #[test]
+    fn multiple_objects_tracked_independently() {
+        let mut c = DataCollector::new();
+        let o2 = ObjectId::new(9);
+        c.ingest_second(0, &[(O, D1), (o2, D2)]);
+        c.ingest_second(1, &[(o2, D2)]);
+        assert_eq!(c.last_detection(O), Some((D1, 0)));
+        assert_eq!(c.last_detection(o2), Some((D2, 1)));
+        assert_eq!(c.objects().count(), 2);
+        c.forget(O);
+        assert_eq!(c.objects().count(), 1);
+    }
+
+    #[test]
+    fn stale_batches_are_dropped() {
+        let mut c = DataCollector::new();
+        c.ingest_second(5, &[(O, D1)]);
+        // A late batch for second 3 must not corrupt the timeline.
+        c.ingest_second(3, &[(O, D2)]);
+        assert_eq!(c.current_second(), Some(5));
+        assert_eq!(c.last_detection(O), Some((D1, 5)));
+        let agg = c.aggregated(O).unwrap();
+        assert_eq!(agg.entries, &[Some(D1)]);
+    }
+
+    #[test]
+    fn unknown_object_queries_return_none() {
+        let c = DataCollector::new();
+        assert!(c.aggregated(O).is_none());
+        assert!(c.last_detection(O).is_none());
+        assert!(c.last_two_devices(O).is_none());
+        assert!(c.events(O).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # ripq-rfid — RFID substrate for RIPQ
+//!
+//! Models the sensing side of the EDBT 2013 paper's setting: "a number of
+//! RFID readers are deployed in hallways. Each user is attached with an
+//! RFID tag, which can be identified by a reader when the user is within
+//! the detection range of the reader" (§1).
+//!
+//! * [`Reader`] / [`deploy_uniform`] — readers placed on hallway
+//!   centerlines with uniform spacing (the paper deploys 19 readers this
+//!   way, §5) and disjoint activation ranges (§2.2).
+//! * [`SensingModel`] — per-sample Bernoulli detection inside the
+//!   activation range, reproducing the *false negatives* that make raw
+//!   RFID data "inherently unreliable" (§1).
+//! * [`DataCollector`] — the event-driven raw data collector of §4.1:
+//!   aggregates tens of samples per second into one entry per second, and
+//!   retains only the readings of the two most recent detecting devices
+//!   per object.
+//! * [`HistoryCollector`] — §4.1's noted extension for historical
+//!   queries: keeps the full reading history and serves time-travel views
+//!   through the [`ReadingStore`] abstraction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod deployment;
+mod history;
+mod object;
+mod reader;
+mod reading;
+mod sensing;
+mod store;
+
+pub use collector::{AggregatedReadings, DataCollector, EventKind, RfidEvent};
+pub use deployment::{deploy, deploy_at_doors, deploy_random, deploy_uniform, ranges_disjoint, DeploymentStrategy};
+pub use history::{HistoryCollector, HistoryView};
+pub use object::ObjectId;
+pub use reader::{Reader, ReaderId};
+pub use reading::RawReading;
+pub use sensing::SensingModel;
+pub use store::ReadingStore;

@@ -1,0 +1,148 @@
+//! Ground-truth query evaluation (§5.1).
+//!
+//! Evaluates range and kNN queries against the *true* traces, forming "a
+//! basis to evaluate the accuracy of the results returned by the two
+//! probabilistic query evaluation modules".
+
+use crate::TrueTrace;
+use ripq_geom::{Point2, Rect};
+use ripq_graph::WalkingGraph;
+use ripq_rfid::ObjectId;
+use std::collections::HashSet;
+
+/// Exact query answers from true traces.
+pub struct GroundTruth<'a> {
+    graph: &'a WalkingGraph,
+    traces: &'a [TrueTrace],
+}
+
+impl<'a> GroundTruth<'a> {
+    /// Creates a ground-truth evaluator.
+    pub fn new(graph: &'a WalkingGraph, traces: &'a [TrueTrace]) -> Self {
+        GroundTruth { graph, traces }
+    }
+
+    /// The objects truly inside `window` at `second`.
+    pub fn range(&self, window: &Rect, second: u64) -> HashSet<ObjectId> {
+        self.traces
+            .iter()
+            .filter(|t| window.contains(t.point_at(self.graph, second)))
+            .map(|t| t.object)
+            .collect()
+    }
+
+    /// The `k` objects truly nearest to `q` by shortest network distance
+    /// at `second` (ties broken by object id for determinism).
+    pub fn knn(&self, q: Point2, k: usize, second: u64) -> HashSet<ObjectId> {
+        let qpos = self.graph.project(q);
+        let sp = self.graph.shortest_paths_from(qpos);
+        let mut dists: Vec<(f64, ObjectId)> = self
+            .traces
+            .iter()
+            .map(|t| (sp.distance_to(self.graph, t.at(second)), t.object))
+            .collect();
+        dists.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        dists.into_iter().take(k).map(|(_, o)| o).collect()
+    }
+
+    /// The true network distance from `q` to every object at `second`.
+    pub fn distances(&self, q: Point2, second: u64) -> Vec<(ObjectId, f64)> {
+        let qpos = self.graph.project(q);
+        let sp = self.graph.shortest_paths_from(qpos);
+        self.traces
+            .iter()
+            .map(|t| (t.object, sp.distance_to(self.graph, t.at(second))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExperimentParams, SimWorld, TraceGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SimWorld, Vec<TrueTrace>) {
+        let params = ExperimentParams::smoke();
+        let w = SimWorld::build(&params);
+        let mut rng = StdRng::seed_from_u64(10);
+        let traces = TraceGenerator::new(8.0).generate(
+            &mut rng,
+            &w.graph,
+            w.plan.rooms().len(),
+            20,
+            120,
+        );
+        (w, traces)
+    }
+
+    #[test]
+    fn whole_building_window_contains_everyone() {
+        let (w, traces) = setup();
+        let gt = GroundTruth::new(&w.graph, &traces);
+        let all = gt.range(&w.plan.bounds(), 60);
+        assert_eq!(all.len(), traces.len());
+    }
+
+    #[test]
+    fn empty_window_contains_no_one() {
+        let (w, traces) = setup();
+        let gt = GroundTruth::new(&w.graph, &traces);
+        let none = gt.range(&Rect::new(-50.0, -50.0, 1.0, 1.0), 60);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn knn_returns_exactly_k() {
+        let (w, traces) = setup();
+        let gt = GroundTruth::new(&w.graph, &traces);
+        for k in [1usize, 3, 7] {
+            let res = gt.knn(Point2::new(31.0, 30.0), k, 60);
+            assert_eq!(res.len(), k);
+        }
+        // k larger than the population: everyone.
+        let res = gt.knn(Point2::new(31.0, 30.0), 500, 60);
+        assert_eq!(res.len(), traces.len());
+    }
+
+    #[test]
+    fn knn_set_is_the_k_smallest_distances() {
+        let (w, traces) = setup();
+        let gt = GroundTruth::new(&w.graph, &traces);
+        let q = Point2::new(10.0, 10.0);
+        let k = 5;
+        let result = gt.knn(q, k, 80);
+        let dists = gt.distances(q, 80);
+        let max_in = dists
+            .iter()
+            .filter(|(o, _)| result.contains(o))
+            .map(|&(_, d)| d)
+            .fold(0.0f64, f64::max);
+        let min_out = dists
+            .iter()
+            .filter(|(o, _)| !result.contains(o))
+            .map(|&(_, d)| d)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max_in <= min_out + 1e-9,
+            "kNN set not distance-consistent: {max_in} > {min_out}"
+        );
+    }
+
+    #[test]
+    fn range_membership_matches_point_containment() {
+        let (w, traces) = setup();
+        let gt = GroundTruth::new(&w.graph, &traces);
+        let window = Rect::new(0.0, 0.0, 31.0, 30.0);
+        let members = gt.range(&window, 100);
+        for t in &traces {
+            let inside = window.contains(t.point_at(&w.graph, 100));
+            assert_eq!(inside, members.contains(&t.object));
+        }
+    }
+}

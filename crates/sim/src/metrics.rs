@@ -1,0 +1,308 @@
+//! Accuracy metrics (§5.1): KL divergence, kNN hit rate, top-k success.
+//!
+//! The paper names three metrics:
+//!
+//! 1. **KL divergence** for range queries, "commonly used to evaluate the
+//!    difference between two probability distributions" — here between the
+//!    ground-truth membership distribution and a method's probabilistic
+//!    result ([`range_kl`]).
+//! 2. **Average hit rate** for kNN queries — the fraction of the true kNN
+//!    set a method's returned set covers ([`knn_hit_rate`]).
+//! 3. **Top-k success rate** — whether an object's true location matches
+//!    the top-k predicted locations of the reconstructed distribution
+//!    ([`top_k_success`]); we measure it at *partition* granularity (a
+//!    room, or a hallway section delimited by readers — the natural
+//!    resolution of the system), using the deployment decomposition.
+
+use ripq_core::ResultSet;
+use ripq_graph::{AnchorId, AnchorSet, GraphPos};
+use ripq_rfid::ObjectId;
+use ripq_symbolic::{AnchorRegion, CellDecomposition};
+use std::collections::{HashMap, HashSet};
+
+/// Smoothing constant for KL divergence (avoids log(0) on disjoint
+/// supports).
+///
+/// Chosen at the natural probability granularity of the system: one
+/// particle out of the default 64 carries ≈ 0.016 probability, so
+/// per-object probabilities below ~0.01 are not resolvable by either
+/// method and are floored rather than letting a single unresolvable miss
+/// contribute an unbounded `ln(1/ε)` term to the average.
+pub const KL_EPSILON: f64 = 1e-2;
+
+/// `D_KL(P ‖ Q) = Σᵢ P(i) ln(P(i)/Q(i))` over ε-smoothed, re-normalized
+/// distributions. Both slices must have the same length.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions over the same support");
+    assert!(!p.is_empty(), "empty support");
+    let sp: f64 = p.iter().sum::<f64>() + KL_EPSILON * p.len() as f64;
+    let sq: f64 = q.iter().sum::<f64>() + KL_EPSILON * q.len() as f64;
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        let pn = (pi + KL_EPSILON) / sp;
+        let qn = (qi + KL_EPSILON) / sq;
+        kl += pn * (pn / qn).ln();
+    }
+    kl.max(0.0)
+}
+
+/// KL divergence of a probabilistic range-query result against the ground
+/// truth membership set, over the `universe` of objects.
+///
+/// `P` puts equal mass on each true member; `Q` is the method's reported
+/// probability per object. Returns `None` when the true result is empty
+/// (the paper averages only over meaningful queries).
+pub fn range_kl(
+    truth: &HashSet<ObjectId>,
+    result: &ResultSet,
+    universe: &[ObjectId],
+) -> Option<f64> {
+    if truth.is_empty() {
+        return None;
+    }
+    let p: Vec<f64> = universe
+        .iter()
+        .map(|o| if truth.contains(o) { 1.0 } else { 0.0 })
+        .collect();
+    let q: Vec<f64> = universe.iter().map(|o| result.probability(*o)).collect();
+    Some(kl_divergence(&p, &q))
+}
+
+/// kNN hit rate: `|returned ∩ truth| / k`.
+pub fn knn_hit_rate(
+    returned: impl IntoIterator<Item = ObjectId>,
+    truth: &HashSet<ObjectId>,
+    k: usize,
+) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = returned
+        .into_iter()
+        .filter(|o| truth.contains(o))
+        .count()
+        .min(k);
+    hits as f64 / k as f64
+}
+
+/// The maximum-probability k-set of a probabilistic result — what the
+/// paper uses for the symbolic baseline's hit rate ("we only consider the
+/// maximum probability result set").
+pub fn top_k_objects(result: &ResultSet, k: usize) -> Vec<ObjectId> {
+    result.top(k).into_iter().map(|r| r.object).collect()
+}
+
+/// Whether the partition truly containing `true_pos` is among the `k`
+/// partitions carrying the most probability mass in `distribution`.
+///
+/// Partitions are the regions of the deployment decomposition: a reader's
+/// covered patch, or a cell (room + adjoining hallway section).
+pub fn top_k_success(
+    cells: &CellDecomposition,
+    anchors: &AnchorSet,
+    distribution: &[(AnchorId, f64)],
+    true_pos: GraphPos,
+    k: usize,
+) -> bool {
+    if distribution.is_empty() || k == 0 {
+        return false;
+    }
+    let true_region = cells.region_of(anchors.nearest(true_pos));
+    let mut mass: HashMap<AnchorRegion, f64> = HashMap::new();
+    for &(a, p) in distribution {
+        *mass.entry(cells.region_of(a)).or_insert(0.0) += p;
+    }
+    let mut ranked: Vec<(AnchorRegion, f64)> = mass.into_iter().collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| region_order(&a.0).cmp(&region_order(&b.0)))
+    });
+    ranked
+        .iter()
+        .take(k)
+        .any(|(region, _)| *region == true_region)
+}
+
+fn region_order(r: &AnchorRegion) -> (u8, u32) {
+    match r {
+        AnchorRegion::Covered(id) => (0, id.raw()),
+        AnchorRegion::InCell(id) => (1, id.raw()),
+    }
+}
+
+/// Mean localization error: the expected Euclidean distance between an
+/// inferred anchor distribution and the true position.
+pub fn expected_error(
+    anchors: &AnchorSet,
+    distribution: &[(AnchorId, f64)],
+    truth: ripq_geom::Point2,
+) -> f64 {
+    let mut total = 0.0;
+    let mut mass = 0.0;
+    for &(a, p) in distribution {
+        total += p * anchors.anchor(a).point.distance(truth);
+        mass += p;
+    }
+    if mass > 0.0 {
+        total / mass
+    } else {
+        0.0
+    }
+}
+
+/// Incremental mean over f64 samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mean {
+    sum: f64,
+    n: u64,
+}
+
+impl Mean {
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.sum += x;
+        self.n += 1;
+    }
+
+    /// The mean (0 when no samples).
+    pub fn value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_and_asymmetric() {
+        let p = [1.0, 0.0, 0.0];
+        let q = [0.2, 0.4, 0.4];
+        let d1 = kl_divergence(&p, &q);
+        let d2 = kl_divergence(&q, &p);
+        assert!(d1 > 0.0);
+        assert!(d2 > 0.0);
+        assert!((d1 - d2).abs() > 1e-6, "KL is not symmetric");
+    }
+
+    #[test]
+    fn kl_decreases_as_q_approaches_p() {
+        let p = [1.0, 0.0];
+        let far = kl_divergence(&p, &[0.5, 0.5]);
+        let near = kl_divergence(&p, &[0.9, 0.1]);
+        assert!(near < far);
+    }
+
+    #[test]
+    fn range_kl_none_on_empty_truth() {
+        let truth = HashSet::new();
+        let rs = ResultSet::new();
+        assert!(range_kl(&truth, &rs, &[o(0), o(1)]).is_none());
+    }
+
+    #[test]
+    fn range_kl_prefers_correct_result() {
+        let universe: Vec<ObjectId> = (0..4).map(o).collect();
+        let truth: HashSet<ObjectId> = [o(0), o(1)].into_iter().collect();
+        let good: ResultSet = [(o(0), 0.9), (o(1), 0.8)].into_iter().collect();
+        let bad: ResultSet = [(o(2), 0.9), (o(3), 0.8)].into_iter().collect();
+        let kl_good = range_kl(&truth, &good, &universe).unwrap();
+        let kl_bad = range_kl(&truth, &bad, &universe).unwrap();
+        assert!(kl_good < kl_bad);
+    }
+
+    #[test]
+    fn hit_rate_basic() {
+        let truth: HashSet<ObjectId> = [o(0), o(1), o(2)].into_iter().collect();
+        assert_eq!(knn_hit_rate([o(0), o(1), o(2)], &truth, 3), 1.0);
+        assert_eq!(knn_hit_rate([o(0), o(5)], &truth, 3), 1.0 / 3.0);
+        assert_eq!(knn_hit_rate([o(7)], &truth, 3), 0.0);
+        // Oversized returns cannot exceed 1.
+        assert_eq!(
+            knn_hit_rate([o(0), o(1), o(2), o(0)], &truth, 3),
+            1.0
+        );
+        assert_eq!(knn_hit_rate([o(0)], &truth, 0), 0.0);
+    }
+
+    #[test]
+    fn top_k_objects_ordering() {
+        let rs: ResultSet = [(o(0), 0.1), (o(1), 0.9), (o(2), 0.5)].into_iter().collect();
+        assert_eq!(top_k_objects(&rs, 2), vec![o(1), o(2)]);
+    }
+
+    #[test]
+    fn expected_error_basics() {
+        use crate::{ExperimentParams, SimWorld};
+        let w = SimWorld::build(&ExperimentParams::smoke());
+        let a = w.anchors.anchors()[3];
+        // Concentrated at the truth: zero error.
+        let dist = vec![(a.id, 1.0)];
+        assert!(expected_error(&w.anchors, &dist, a.point) < 1e-9);
+        // Split between the truth and an anchor d meters away: error d/2.
+        let b = w
+            .anchors
+            .anchors()
+            .iter()
+            .find(|x| x.point.distance(a.point) > 5.0)
+            .expect("far anchor exists");
+        let d = b.point.distance(a.point);
+        let dist = vec![(a.id, 0.5), (b.id, 0.5)];
+        let e = expected_error(&w.anchors, &dist, a.point);
+        assert!((e - d / 2.0).abs() < 1e-9);
+        // Empty distribution: defined as zero.
+        assert_eq!(expected_error(&w.anchors, &[], a.point), 0.0);
+    }
+
+    #[test]
+    fn mean_accumulates() {
+        let mut m = Mean::default();
+        assert_eq!(m.value(), 0.0);
+        m.push(1.0);
+        m.push(3.0);
+        assert_eq!(m.value(), 2.0);
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn top_k_success_on_real_world() {
+        use crate::{ExperimentParams, SimWorld};
+        let w = SimWorld::build(&ExperimentParams::smoke());
+        let cells = w.symbolic.cells();
+        // Distribution concentrated on one anchor: top-1 success exactly
+        // when the true position maps to the same region.
+        let a = w.anchors.anchors()[10];
+        let dist = vec![(a.id, 1.0)];
+        assert!(top_k_success(cells, &w.anchors, &dist, a.pos, 1));
+        // A distant anchor in a different region fails at k=1.
+        let far = w
+            .anchors
+            .anchors()
+            .iter()
+            .find(|b| cells.region_of(b.id) != cells.region_of(a.id))
+            .expect("multiple regions exist");
+        assert!(!top_k_success(cells, &w.anchors, &dist, far.pos, 1));
+        // Empty distribution never succeeds.
+        assert!(!top_k_success(cells, &w.anchors, &[], a.pos, 1));
+    }
+}

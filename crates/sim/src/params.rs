@@ -1,0 +1,168 @@
+//! Experiment parameters — Table 2 of the paper plus simulation knobs.
+
+use ripq_rfid::{DeploymentStrategy, SensingModel};
+use serde::{Deserialize, Serialize};
+
+/// All knobs of one simulated experiment.
+///
+/// The `Default` implementation reproduces **Table 2** ("Default values of
+/// parameters"): 64 particles, 2 % query window, 200 moving objects,
+/// k = 3, 2 m activation range — in the 30-room / 4-hallway single floor
+/// with 19 uniformly deployed readers of §5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Number of particles per object (Table 2: 64).
+    pub num_particles: usize,
+    /// Range-query window area as a fraction of the total floor area
+    /// (Table 2: 2 % → 0.02).
+    pub query_window_fraction: f64,
+    /// Number of moving objects (Table 2: 200).
+    pub num_objects: usize,
+    /// `k` for kNN queries (Table 2: 3).
+    pub k: usize,
+    /// Reader activation range in meters (Table 2: 2 m).
+    pub activation_range: f64,
+    /// Number of readers deployed uniformly on hallways (§5: 19).
+    pub reader_count: u32,
+    /// Reader placement strategy (paper: uniform spacing).
+    pub deployment: DeploymentStrategy,
+    /// Anchor-point spacing in meters (§4.2: 1 m).
+    pub anchor_spacing: f64,
+    /// Maximum walking speed `u_max` used by the symbolic model's
+    /// reachability bound and by candidate pruning. The trace speeds are
+    /// N(1, 0.1), so 1.5 m/s is an ~5σ upper bound.
+    pub max_speed: f64,
+    /// Sensing model (sample rate / per-sample detection probability).
+    pub sensing: SensingModel,
+    /// Simulated duration in seconds.
+    pub duration: u64,
+    /// Seconds to skip before the first evaluation timestamp (objects need
+    /// reading history before inference is meaningful).
+    pub warmup: u64,
+    /// Number of evaluation timestamps, spread uniformly over
+    /// `[warmup, duration]` (paper: 50).
+    pub eval_timestamps: usize,
+    /// Range-query windows generated per evaluation timestamp (paper: 100).
+    pub range_queries_per_timestamp: usize,
+    /// kNN query points (paper: 30), re-evaluated at every timestamp.
+    pub knn_query_points: usize,
+    /// Mean seconds an object dwells inside a destination room.
+    pub room_dwell_mean: f64,
+    /// Particle filter: use negative observations (see
+    /// [`ripq_pf::PreprocessorConfig::negative_evidence`]); ablation knob.
+    pub negative_evidence: bool,
+    /// Particle filter: ESS resampling threshold (1.0 = the paper's
+    /// resample-every-observation SIR); ablation knob.
+    pub resample_threshold: f64,
+    /// Particle filter: probability of turning into a room at a door
+    /// portal; ablation knob.
+    pub room_enter_probability: f64,
+    /// Particle filter: maximum coasting seconds past the last reading
+    /// (Algorithm 2 uses 60); ablation knob.
+    pub coast_seconds: u64,
+    /// Particle filter: KDE bandwidth for the particle→anchor conversion
+    /// (0 = the paper's raw nearest-anchor snap); ablation knob.
+    pub kde_bandwidth: f64,
+    /// Particle filter: KLD-adaptive particle counts (Fox 2001) instead of
+    /// the paper's fixed `Ns`; ablation knob.
+    pub kld_adaptive: bool,
+    /// Master RNG seed; every derived generator is seeded from it.
+    pub seed: u64,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams {
+            num_particles: 64,
+            query_window_fraction: 0.02,
+            num_objects: 200,
+            k: 3,
+            activation_range: 2.0,
+            reader_count: 19,
+            deployment: DeploymentStrategy::Uniform,
+            anchor_spacing: 1.0,
+            max_speed: 1.5,
+            sensing: SensingModel::default(),
+            duration: 400,
+            warmup: 60,
+            eval_timestamps: 50,
+            range_queries_per_timestamp: 100,
+            knn_query_points: 30,
+            room_dwell_mean: 10.0,
+            negative_evidence: true,
+            resample_threshold: 0.5,
+            room_enter_probability: 0.3,
+            coast_seconds: 60,
+            kde_bandwidth: 2.0,
+            kld_adaptive: false,
+            seed: 0xED8_2013,
+        }
+    }
+}
+
+impl ExperimentParams {
+    /// A lighter configuration for unit tests and smoke runs: fewer
+    /// objects, timestamps and queries. Accuracy trends remain visible but
+    /// each run completes in well under a second.
+    pub fn smoke() -> Self {
+        ExperimentParams {
+            num_objects: 30,
+            duration: 150,
+            warmup: 40,
+            eval_timestamps: 5,
+            range_queries_per_timestamp: 20,
+            knn_query_points: 8,
+            ..Default::default()
+        }
+    }
+
+    /// The evaluation timestamps implied by `warmup`, `duration` and
+    /// `eval_timestamps`.
+    pub fn timestamps(&self) -> Vec<u64> {
+        let n = self.eval_timestamps.max(1) as u64;
+        let span = self.duration.saturating_sub(self.warmup).max(1);
+        (1..=n)
+            .map(|i| self.warmup + span * i / n)
+            .map(|t| t.min(self.duration))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_2() {
+        let p = ExperimentParams::default();
+        assert_eq!(p.num_particles, 64);
+        assert!((p.query_window_fraction - 0.02).abs() < 1e-12);
+        assert_eq!(p.num_objects, 200);
+        assert_eq!(p.k, 3);
+        assert_eq!(p.activation_range, 2.0);
+        assert_eq!(p.reader_count, 19);
+    }
+
+    #[test]
+    fn timestamps_within_bounds_and_increasing() {
+        let p = ExperimentParams::default();
+        let ts = p.timestamps();
+        assert_eq!(ts.len(), 50);
+        assert!(ts[0] >= p.warmup);
+        assert!(*ts.last().unwrap() <= p.duration);
+        for w in ts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn smoke_is_smaller() {
+        let s = ExperimentParams::smoke();
+        let d = ExperimentParams::default();
+        assert!(s.num_objects < d.num_objects);
+        assert!(s.eval_timestamps < d.eval_timestamps);
+        // But keeps Table-2 accuracy-relevant defaults.
+        assert_eq!(s.num_particles, 64);
+        assert_eq!(s.k, 3);
+    }
+}

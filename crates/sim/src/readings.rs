@@ -1,0 +1,207 @@
+//! The raw reading generator (§5.1).
+//!
+//! "The raw reading generator module checks whether each object is detected
+//! by a reader according to the deployment of readers and the current
+//! location of the object. Whenever a reading occurs, the raw reading
+//! generator will feed the reading … to the two probabilistic query
+//! evaluation modules."
+
+use crate::TrueTrace;
+use rand::Rng;
+use ripq_graph::WalkingGraph;
+use ripq_rfid::{ObjectId, Reader, ReaderId, SensingModel};
+
+/// A reader outage: `reader` produces no readings during
+/// `[from, until]` (inclusive). Models hardware failures and maintenance
+/// windows for robustness testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReaderOutage {
+    /// The failed reader.
+    pub reader: ReaderId,
+    /// First silent second.
+    pub from: u64,
+    /// Last silent second.
+    pub until: u64,
+}
+
+/// Generates per-second detections from true traces through the stochastic
+/// sensing model.
+pub struct ReadingGenerator<'a> {
+    graph: &'a WalkingGraph,
+    readers: &'a [Reader],
+    sensing: SensingModel,
+    outages: Vec<ReaderOutage>,
+}
+
+impl<'a> ReadingGenerator<'a> {
+    /// Creates a generator for a fixed deployment.
+    pub fn new(graph: &'a WalkingGraph, readers: &'a [Reader], sensing: SensingModel) -> Self {
+        ReadingGenerator {
+            graph,
+            readers,
+            sensing,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Adds reader outages (failure injection).
+    pub fn with_outages(mut self, outages: Vec<ReaderOutage>) -> Self {
+        self.outages = outages;
+        self
+    }
+
+    fn is_down(&self, reader: ReaderId, second: u64) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.reader == reader && (o.from..=o.until).contains(&second))
+    }
+
+    /// The aggregated detections of one second: for each object whose true
+    /// position is inside some reader's range *and* which at least one
+    /// sample detected, the pair `(object, reader)`.
+    pub fn detections_at<R: Rng>(
+        &self,
+        rng: &mut R,
+        traces: &[TrueTrace],
+        second: u64,
+    ) -> Vec<(ObjectId, ReaderId)> {
+        let mut out = Vec::new();
+        for trace in traces {
+            let p = trace.point_at(self.graph, second);
+            if let Some(reader) = self.sensing.detect_second(rng, p, self.readers) {
+                if !self.is_down(reader, second) {
+                    out.push((trace.object, reader));
+                }
+            }
+        }
+        out
+    }
+
+    /// All per-second detections for `0..=duration`, precomputed (index by
+    /// second).
+    pub fn detections_all<R: Rng>(
+        &self,
+        rng: &mut R,
+        traces: &[TrueTrace],
+        duration: u64,
+    ) -> Vec<Vec<(ObjectId, ReaderId)>> {
+        (0..=duration)
+            .map(|s| self.detections_at(rng, traces, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExperimentParams, SimWorld, TraceGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn detections_match_coverage() {
+        let params = ExperimentParams::smoke();
+        let w = SimWorld::build(&params);
+        let mut rng = StdRng::seed_from_u64(6);
+        let traces = TraceGenerator::new(5.0).generate(
+            &mut rng,
+            &w.graph,
+            w.plan.rooms().len(),
+            10,
+            120,
+        );
+        let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
+        let mut any = false;
+        for s in 0..=120u64 {
+            for (obj, rid) in gen.detections_at(&mut rng, &traces, s) {
+                any = true;
+                let trace = &traces[obj.index()];
+                let p = trace.point_at(&w.graph, s);
+                let reader = &w.readers[rid.index()];
+                assert!(
+                    reader.covers(p),
+                    "detection outside range at second {s}"
+                );
+            }
+        }
+        assert!(any, "objects walking the hallways must be detected");
+    }
+
+    #[test]
+    fn detections_all_has_one_entry_per_second() {
+        let params = ExperimentParams::smoke();
+        let w = SimWorld::build(&params);
+        let mut rng = StdRng::seed_from_u64(7);
+        let traces = TraceGenerator::new(5.0).generate(
+            &mut rng,
+            &w.graph,
+            w.plan.rooms().len(),
+            5,
+            60,
+        );
+        let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
+        let all = gen.detections_all(&mut rng, &traces, 60);
+        assert_eq!(all.len(), 61);
+    }
+
+    #[test]
+    fn outages_silence_the_failed_reader_only() {
+        let params = ExperimentParams::smoke();
+        let w = SimWorld::build(&params);
+        let mut rng = StdRng::seed_from_u64(9);
+        let traces = TraceGenerator::new(5.0).generate(
+            &mut rng,
+            &w.graph,
+            w.plan.rooms().len(),
+            20,
+            150,
+        );
+        let dead = w.readers[3].id();
+        let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing).with_outages(
+            vec![ReaderOutage {
+                reader: dead,
+                from: 50,
+                until: 100,
+            }],
+        );
+        let mut dead_before = 0;
+        let mut dead_during = 0;
+        let mut others_during = 0;
+        for s in 0..=150u64 {
+            for (_, r) in gen.detections_at(&mut rng, &traces, s) {
+                match (r == dead, (50..=100).contains(&s)) {
+                    (true, true) => dead_during += 1,
+                    (true, false) => dead_before += 1,
+                    (false, true) => others_during += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(dead_during, 0, "failed reader silent during the outage");
+        assert!(dead_before > 0, "reader works outside the outage window");
+        assert!(others_during > 0, "other readers unaffected");
+    }
+
+    #[test]
+    fn zero_detection_probability_detects_nothing() {
+        let params = ExperimentParams::smoke();
+        let w = SimWorld::build(&params);
+        let mut rng = StdRng::seed_from_u64(8);
+        let traces = TraceGenerator::new(5.0).generate(
+            &mut rng,
+            &w.graph,
+            w.plan.rooms().len(),
+            5,
+            30,
+        );
+        let dead = SensingModel {
+            samples_per_second: 10,
+            detection_probability: 0.0,
+            ..Default::default()
+        };
+        let gen = ReadingGenerator::new(&w.graph, &w.readers, dead);
+        for s in 0..=30u64 {
+            assert!(gen.detections_at(&mut rng, &traces, s).is_empty());
+        }
+    }
+}

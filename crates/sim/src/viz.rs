@@ -1,0 +1,240 @@
+//! SVG rendering of floor plans, deployments, traces and inferred
+//! distributions — the debugging view every spatial system needs.
+//!
+//! No external dependencies: the renderer writes plain SVG 1.1. Colors and
+//! sizes are chosen for quick visual triage (rooms grey, hallways white,
+//! readers with activation disks, anchor clouds as probability-scaled
+//! dots, traces as polylines).
+
+use ripq_floorplan::FloorPlan;
+use ripq_geom::{Point2, Rect};
+use ripq_graph::{AnchorId, AnchorSet, WalkingGraph};
+use ripq_rfid::Reader;
+use std::fmt::Write as _;
+
+/// Builder for an SVG scene over one floor plan.
+pub struct SvgScene<'a> {
+    plan: &'a FloorPlan,
+    scale: f64,
+    body: String,
+}
+
+impl<'a> SvgScene<'a> {
+    /// Starts a scene; `scale` is pixels per meter (8–12 is comfortable).
+    pub fn new(plan: &'a FloorPlan, scale: f64) -> Self {
+        assert!(scale > 0.0, "positive scale");
+        let mut scene = SvgScene {
+            plan,
+            scale,
+            body: String::new(),
+        };
+        scene.draw_plan();
+        scene
+    }
+
+    fn tx(&self, p: Point2) -> (f64, f64) {
+        // Flip y so the plan reads north-up.
+        let b = self.plan.bounds();
+        (
+            (p.x - b.min().x + 1.0) * self.scale,
+            (b.max().y - p.y + 1.0) * self.scale,
+        )
+    }
+
+    fn rect(&mut self, r: &Rect, fill: &str, stroke: &str) {
+        let (x, y) = self.tx(Point2::new(r.min().x, r.max().y));
+        let w = r.width() * self.scale;
+        let h = r.height() * self.scale;
+        writeln!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}" stroke="{stroke}" stroke-width="1"/>"#
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    fn circle(&mut self, c: Point2, r_px: f64, fill: &str, opacity: f64) {
+        let (cx, cy) = self.tx(c);
+        writeln!(
+            self.body,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r_px:.1}" fill="{fill}" fill-opacity="{opacity:.2}"/>"#
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    fn draw_plan(&mut self) {
+        let rooms: Vec<Rect> = self.plan.rooms().iter().map(|r| *r.footprint()).collect();
+        let halls: Vec<Rect> = self
+            .plan
+            .hallways()
+            .iter()
+            .map(|h| *h.footprint())
+            .collect();
+        let doors: Vec<Point2> = self.plan.doors().iter().map(|d| d.position()).collect();
+        for fp in halls {
+            self.rect(&fp, "#ffffff", "#888888");
+        }
+        for fp in rooms {
+            self.rect(&fp, "#e8e8e8", "#555555");
+        }
+        for p in doors {
+            self.circle(p, 2.0, "#b07030", 1.0);
+        }
+    }
+
+    /// Draws the walking graph's edges as thin lines.
+    pub fn draw_graph(&mut self, graph: &WalkingGraph) -> &mut Self {
+        for e in graph.edges() {
+            let pts = e.geometry.points().to_vec();
+            for w in pts.windows(2) {
+                let (x1, y1) = self.tx(w[0]);
+                let (x2, y2) = self.tx(w[1]);
+                writeln!(
+                    self.body,
+                    r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#4060c0" stroke-width="0.7" stroke-opacity="0.6"/>"##
+                )
+                .expect("writing to String cannot fail");
+            }
+        }
+        self
+    }
+
+    /// Draws readers with their activation disks.
+    pub fn draw_readers(&mut self, readers: &[Reader]) -> &mut Self {
+        for r in readers {
+            self.circle(
+                r.position(),
+                r.activation_range() * self.scale,
+                "#40a040",
+                0.18,
+            );
+            self.circle(r.position(), 2.5, "#208020", 1.0);
+        }
+        self
+    }
+
+    /// Draws an inferred anchor distribution: dot radius scales with
+    /// probability.
+    pub fn draw_distribution(
+        &mut self,
+        anchors: &AnchorSet,
+        dist: &[(AnchorId, f64)],
+        color: &str,
+    ) -> &mut Self {
+        for &(a, p) in dist {
+            let point = anchors.anchor(a).point;
+            let r = (2.0 + 10.0 * p.sqrt()).min(9.0);
+            self.circle(point, r, color, 0.75);
+        }
+        self
+    }
+
+    /// Draws a trace as a polyline with a dot at the final position.
+    pub fn draw_trace(
+        &mut self,
+        graph: &WalkingGraph,
+        trace: &crate::TrueTrace,
+        color: &str,
+    ) -> &mut Self {
+        let mut path = String::new();
+        for (i, pos) in trace.positions.iter().enumerate() {
+            let (x, y) = self.tx(graph.point_of(*pos));
+            let cmd = if i == 0 { 'M' } else { 'L' };
+            write!(path, "{cmd}{x:.1},{y:.1} ").expect("write to String");
+        }
+        writeln!(
+            self.body,
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.2" stroke-opacity="0.8"/>"#
+        )
+        .expect("writing to String cannot fail");
+        if let Some(last) = trace.positions.last() {
+            self.circle(graph.point_of(*last), 3.0, color, 1.0);
+        }
+        self
+    }
+
+    /// Finalizes the scene into a complete SVG document.
+    pub fn finish(&self) -> String {
+        let b = self.plan.bounds();
+        let w = (b.width() + 2.0) * self.scale;
+        let h = (b.height() + 2.0) * self.scale;
+        format!(
+            concat!(
+                r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" "#,
+                r#"viewBox="0 0 {w:.0} {h:.0}">"#,
+                "\n<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n{body}</svg>\n"
+            ),
+            w = w,
+            h = h,
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExperimentParams, SimWorld, TraceGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> SimWorld {
+        SimWorld::build(&ExperimentParams::smoke())
+    }
+
+    #[test]
+    fn scene_renders_plan_elements() {
+        let w = world();
+        let svg = SvgScene::new(&w.plan, 8.0).finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // 30 rooms + 4 hallways + background = at least 35 rects.
+        let rects = svg.matches("<rect").count();
+        assert!(rects >= 35, "rects: {rects}");
+        // 30 door markers.
+        assert!(svg.matches("<circle").count() >= 30);
+    }
+
+    #[test]
+    fn scene_with_all_layers() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(3);
+        let traces = TraceGenerator::new(5.0).generate(
+            &mut rng,
+            &w.graph,
+            w.plan.rooms().len(),
+            2,
+            60,
+        );
+        let dist = vec![
+            (w.anchors.anchors()[0].id, 0.5),
+            (w.anchors.anchors()[5].id, 0.5),
+        ];
+        let mut scene = SvgScene::new(&w.plan, 10.0);
+        scene
+            .draw_graph(&w.graph)
+            .draw_readers(&w.readers)
+            .draw_distribution(&w.anchors, &dist, "#d04040")
+            .draw_trace(&w.graph, &traces[0], "#4040d0");
+        let svg = scene.finish();
+        assert!(svg.contains("<line"), "graph layer present");
+        assert!(svg.contains("<path"), "trace layer present");
+        assert!(svg.contains("#d04040"), "distribution layer present");
+        // Valid-ish XML: every tag closed.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn coordinates_fit_in_viewbox() {
+        let w = world();
+        let scene = SvgScene::new(&w.plan, 10.0);
+        // Transform of the bounds corners stays inside the view.
+        let b = w.plan.bounds();
+        for corner in [b.min(), b.max()] {
+            let (x, y) = scene.tx(corner);
+            assert!(x >= 0.0 && y >= 0.0);
+            assert!(x <= (b.width() + 2.0) * 10.0);
+            assert!(y <= (b.height() + 2.0) * 10.0);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # ripq-symbolic — the symbolic-model baseline (§3.3)
+//!
+//! The paper compares its particle-filter inference against "the only
+//! \[other\] method of drawing the probability distribution of an object's
+//! location for the purpose of indoor spatial queries in the literature":
+//! the symbolic model of Yang, Lu and Jensen ([29, 30] in the paper).
+//!
+//! In that model the indoor space is carved into **cells** by the deployed
+//! positioning devices; an object that left reader `d` at time `t_last` is
+//! assumed to be **uniformly distributed over all the reachable locations
+//! constrained by its maximum speed** — it may be anywhere it could have
+//! walked to without being detected by another reader.
+//!
+//! This crate reimplements that model on the *same* anchor-point
+//! discretization RIPQ uses for its own inference, which makes the two
+//! methods directly comparable anchor-by-anchor (the paper does the same by
+//! evaluating both through identical queries):
+//!
+//! * [`CellDecomposition`] — anchors covered by each reader, connected
+//!   uncovered regions (cells), and the deployment-graph adjacency between
+//!   readers and cells;
+//! * [`DeviceKind`] / device classification — presence vs. (un)directed
+//!   partitioning devices (§3.3's taxonomy);
+//! * [`SymbolicModel`] — Cases 1–4 inference: reader-range-restricted
+//!   shortest-path distances and the uniform reachable-region distribution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cells;
+mod device;
+mod inference;
+
+pub use cells::{AnchorRegion, CellDecomposition, CellId};
+pub use device::{classify_device, DeviceKind};
+pub use inference::SymbolicModel;

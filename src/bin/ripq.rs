@@ -1,0 +1,209 @@
+//! `ripq` — command-line front end to the RIPQ library.
+//!
+//! ```text
+//! ripq plan office --svg office.svg     # inspect / render a floor plan
+//! ripq simulate --objects 100 --duration 300
+//! ripq trace --object 3 --svg trace.svg # offline trajectory reconstruction
+//! ripq defaults                         # Table 2 of the paper
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ripq::floorplan::{
+    multi_floor_office, office_building, shopping_mall, subway_station, FloorPlan, MallParams,
+    MultiFloorParams, OfficeParams, SubwayParams,
+};
+use ripq::pf::{reconstruct_trajectory, TrajectoryConfig};
+use ripq::rfid::HistoryCollector;
+use ripq::sim::{
+    Experiment, ExperimentParams, ReadingGenerator, SimWorld, SvgScene, TraceGenerator,
+};
+
+fn main() {
+    // Conventional CLI behavior: `ripq defaults | head -3` must exit
+    // quietly when the reader closes the pipe, not panic.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let is_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("Broken pipe"));
+        if is_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "plan" => cmd_plan(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "defaults" => cmd_defaults(),
+        _ => {
+            eprintln!(
+                "usage: ripq <plan|simulate|trace|defaults> [options]\n\
+                 \n\
+                 plan [office|mall|subway|tower] [--svg FILE]\n\
+                 simulate [--objects N] [--duration S] [--seed N]\n\
+                 trace [--object N] [--duration S] [--seed N] [--svg FILE]\n\
+                 defaults"
+            );
+            std::process::exit(if cmd == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_or<T: std::str::FromStr>(v: Option<String>, default: T) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn build_plan(kind: &str) -> FloorPlan {
+    match kind {
+        "mall" => shopping_mall(&MallParams::default()).expect("valid mall"),
+        "subway" => subway_station(&SubwayParams::default()).expect("valid station"),
+        "tower" => multi_floor_office(&MultiFloorParams::default()).expect("valid tower"),
+        _ => office_building(&OfficeParams::default()).expect("valid office"),
+    }
+}
+
+fn cmd_plan(args: &[String]) {
+    let kind = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("office");
+    let plan = build_plan(kind);
+    println!("{kind} plan:");
+    println!("  rooms:     {}", plan.rooms().len());
+    println!("  hallways:  {}", plan.hallways().len());
+    println!("  doors:     {}", plan.doors().len());
+    println!("  bounds:    {}", plan.bounds());
+    println!("  area:      {:.0} m^2 indoor", plan.indoor_area());
+    println!(
+        "  centerline:{:.0} m of hallway",
+        plan.total_centerline_length()
+    );
+    let graph = ripq::graph::build_walking_graph(&plan);
+    println!(
+        "  graph:     {} nodes / {} edges, connected: {}",
+        graph.nodes().len(),
+        graph.edges().len(),
+        graph.is_connected()
+    );
+    if let Some(path) = flag(args, "--svg") {
+        let params = ExperimentParams::default();
+        let world = SimWorld::build_with_plan(plan, &params);
+        let mut scene = SvgScene::new(&world.plan, 10.0);
+        scene.draw_graph(&world.graph).draw_readers(&world.readers);
+        std::fs::write(&path, scene.finish()).expect("write SVG");
+        println!("  wrote {path}");
+    }
+}
+
+fn cmd_simulate(args: &[String]) {
+    let params = ExperimentParams {
+        num_objects: parse_or(flag(args, "--objects"), 60),
+        duration: parse_or(flag(args, "--duration"), 240),
+        seed: parse_or(flag(args, "--seed"), 0xED8_2013),
+        eval_timestamps: 10,
+        range_queries_per_timestamp: 40,
+        knn_query_points: 12,
+        ..Default::default()
+    };
+    println!(
+        "simulating {} objects for {} s (seed {})...",
+        params.num_objects, params.duration, params.seed
+    );
+    let r = Experiment::new(params).run();
+    println!("range-query KL divergence: PF {:.3}  SM {:.3}", r.range_kl_pf, r.range_kl_sm);
+    println!("kNN average hit rate:      PF {:.3}  SM {:.3}", r.knn_hit_pf, r.knn_hit_sm);
+    println!("top-1 / top-2 success:     {:.3} / {:.3}", r.top1_success, r.top2_success);
+    println!(
+        "({} range queries, {} kNN evaluations)",
+        r.range_queries_evaluated, r.knn_queries_evaluated
+    );
+}
+
+fn cmd_trace(args: &[String]) {
+    let object = parse_or(flag(args, "--object"), 0u32);
+    let duration: u64 = parse_or(flag(args, "--duration"), 180);
+    let seed: u64 = parse_or(flag(args, "--seed"), 7);
+    let params = ExperimentParams::default();
+    let world = SimWorld::build(&params);
+
+    let mut rng_trace = StdRng::seed_from_u64(seed);
+    let mut rng_sense = StdRng::seed_from_u64(seed + 1);
+    let n = (object as usize + 1).max(4);
+    let traces = TraceGenerator::new(params.room_dwell_mean).generate(
+        &mut rng_trace,
+        &world.graph,
+        world.plan.rooms().len(),
+        n,
+        duration,
+    );
+    let gen = ReadingGenerator::new(&world.graph, &world.readers, params.sensing);
+    let mut history = HistoryCollector::new();
+    for s in 0..=duration {
+        let det = gen.detections_at(&mut rng_sense, &traces, s);
+        history.ingest_second(s, &det);
+    }
+    let mut rng_pf = StdRng::seed_from_u64(seed + 2);
+    let obj = ripq::rfid::ObjectId::new(object);
+    match reconstruct_trajectory(
+        &mut rng_pf,
+        &world.graph,
+        &world.anchors,
+        &world.readers,
+        &history,
+        obj,
+        &TrajectoryConfig::default(),
+    ) {
+        Some(traj) => {
+            let truth = &traces[object as usize];
+            let mut err = 0.0;
+            for tp in &traj {
+                err += tp.mean.distance(truth.point_at(&world.graph, tp.second));
+            }
+            println!(
+                "reconstructed {} samples for {obj}; mean error {:.2} m",
+                traj.len(),
+                err / traj.len() as f64
+            );
+            if let Some(path) = flag(args, "--svg") {
+                let mut scene = SvgScene::new(&world.plan, 10.0);
+                scene
+                    .draw_readers(&world.readers)
+                    .draw_trace(&world.graph, truth, "#4040d0");
+                // Overlay the reconstruction's mode anchors.
+                let dist: Vec<_> = traj
+                    .iter()
+                    .map(|tp| (tp.mode, 0.08))
+                    .collect();
+                scene.draw_distribution(&world.anchors, &dist, "#d04040");
+                std::fs::write(&path, scene.finish()).expect("write SVG");
+                println!("wrote {path} (blue = truth, red = reconstruction)");
+            }
+        }
+        None => println!("{obj} was never detected in this simulation"),
+    }
+}
+
+fn cmd_defaults() {
+    let p = ExperimentParams::default();
+    println!("Table 2 — default parameters:");
+    println!("  particles:        {}", p.num_particles);
+    println!("  query window:     {}%", p.query_window_fraction * 100.0);
+    println!("  moving objects:   {}", p.num_objects);
+    println!("  k:                {}", p.k);
+    println!("  activation range: {} m", p.activation_range);
+    println!("  readers:          {}", p.reader_count);
+}

@@ -1,0 +1,41 @@
+//! # RIPQ — RFID and particle filter-based indoor spatial query evaluation
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for a
+//! guided tour and `DESIGN.md` for the paper-to-module map.
+//!
+//! # Example
+//!
+//! Track one tagged person and ask a probabilistic range query:
+//!
+//! ```
+//! use ripq::core::{IndoorQuerySystem, SystemConfig};
+//! use ripq::floorplan::{office_building, OfficeParams};
+//! use ripq::geom::Rect;
+//! use ripq::rfid::ObjectId;
+//!
+//! let plan = office_building(&OfficeParams::default()).unwrap();
+//! let mut system = IndoorQuerySystem::new(plan, SystemConfig::default(), 42);
+//!
+//! // The person pings reader d0 for three seconds.
+//! let d0 = system.readers()[0];
+//! for second in 0..3 {
+//!     system.ingest_detections(second, &[(ObjectId::new(0), d0.id())]);
+//! }
+//!
+//! let q = system
+//!     .register_range(Rect::centered(d0.position(), 10.0, 6.0))
+//!     .unwrap();
+//! let report = system.evaluate(3);
+//! assert!(report.range_results[&q].probability(ObjectId::new(0)) > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ripq_core as core;
+pub use ripq_floorplan as floorplan;
+pub use ripq_geom as geom;
+pub use ripq_graph as graph;
+pub use ripq_pf as pf;
+pub use ripq_rfid as rfid;
+pub use ripq_sim as sim;
+pub use ripq_symbolic as symbolic;

@@ -1,0 +1,71 @@
+//! End-to-end tests of the `ripq` command-line binary.
+
+use std::process::Command;
+
+fn ripq(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ripq"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn defaults_prints_table_2() {
+    let out = ripq(&["defaults"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("particles:        64"));
+    assert!(text.contains("moving objects:   200"));
+    assert!(text.contains("activation range: 2 m"));
+}
+
+#[test]
+fn plan_reports_all_topologies() {
+    for (kind, rooms) in [("office", 30), ("mall", 16), ("subway", 10), ("tower", 90)] {
+        let out = ripq(&["plan", kind]);
+        assert!(out.status.success(), "{kind} failed");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(
+            text.contains(&format!("rooms:     {rooms}")),
+            "{kind}: {text}"
+        );
+        assert!(text.contains("connected: true"), "{kind} graph connected");
+    }
+}
+
+#[test]
+fn plan_writes_svg() {
+    let path = std::env::temp_dir().join("ripq_cli_test_plan.svg");
+    let _ = std::fs::remove_file(&path);
+    let out = ripq(&["plan", "office", "--svg", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let svg = std::fs::read_to_string(&path).expect("SVG written");
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("<circle"), "readers drawn");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trace_reconstructs_and_reports_error() {
+    let out = ripq(&["trace", "--object", "1", "--duration", "120", "--seed", "5"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("mean error") || text.contains("never detected"),
+        "unexpected output: {text}"
+    );
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = ripq(&["bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = ripq(&[]);
+    assert!(out.status.success());
+}

@@ -1,0 +1,70 @@
+//! Continuous queries (the §6 extension) against the full pipeline:
+//! deltas must be exactly consistent with re-evaluating from scratch.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ripq::core::continuous::{ContinuousKnnQuery, ContinuousRangeQuery};
+use ripq::core::{evaluate_knn, evaluate_range, KnnQuery, QueryId, RangeQuery};
+use ripq::pf::{ParticleCache, ParticlePreprocessor, PreprocessorConfig};
+use ripq::rfid::DataCollector;
+use ripq::sim::{ExperimentParams, ReadingGenerator, SimWorld, TraceGenerator};
+
+#[test]
+fn continuous_results_match_fresh_evaluation() {
+    let params = ExperimentParams::smoke();
+    let w = SimWorld::build(&params);
+    let mut rng_trace = StdRng::seed_from_u64(21);
+    let mut rng_sense = StdRng::seed_from_u64(22);
+    let mut rng_pf = StdRng::seed_from_u64(23);
+    let traces = TraceGenerator::new(6.0).generate(
+        &mut rng_trace,
+        &w.graph,
+        w.plan.rooms().len(),
+        25,
+        150,
+    );
+    let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
+    let objects: Vec<_> = traces.iter().map(|t| t.object).collect();
+    let pre = ParticlePreprocessor::new(
+        &w.graph,
+        &w.anchors,
+        &w.readers,
+        PreprocessorConfig::default(),
+    );
+    let mut collector = DataCollector::new();
+    let mut cache = ParticleCache::new();
+
+    let room = &w.plan.rooms()[8];
+    let range_query = RangeQuery::new(QueryId::new(0), *room.footprint()).unwrap();
+    let knn_query =
+        KnnQuery::new(QueryId::new(1), w.plan.hallways()[0].footprint().center(), 2).unwrap();
+    let mut c_range = ContinuousRangeQuery::new(range_query);
+    let mut c_knn = ContinuousKnnQuery::new(knn_query);
+
+    let mut deltas_seen = 0u32;
+    for s in 0..=150u64 {
+        let det = gen.detections_at(&mut rng_sense, &traces, s);
+        collector.ingest_second(s, &det);
+        if s < 40 || s % 25 != 0 {
+            continue;
+        }
+        let index = pre.process(&mut rng_pf, &collector, &objects, s, Some(&mut cache));
+
+        let d1 = c_range.update(&w.plan, &w.anchors, &index);
+        let d2 = c_knn.update(&w.graph, &w.anchors, &index);
+        deltas_seen += u32::from(!d1.is_empty()) + u32::from(!d2.is_empty());
+
+        // The maintained result must equal a from-scratch evaluation.
+        let fresh_range = evaluate_range(&w.plan, &w.anchors, &index, &range_query.window);
+        let fresh_knn = evaluate_knn(&w.graph, &w.anchors, &index, &knn_query);
+        for (o, p) in fresh_range.iter() {
+            assert!((c_range.current().probability(o) - p).abs() < 1e-12);
+        }
+        assert_eq!(c_range.current().len(), fresh_range.len());
+        for (o, p) in fresh_knn.iter() {
+            assert!((c_knn.current().probability(o) - p).abs() < 1e-12);
+        }
+        assert_eq!(c_knn.current().len(), fresh_knn.len());
+    }
+    assert!(deltas_seen > 0, "moving objects must produce deltas");
+}

@@ -1,0 +1,69 @@
+//! End-to-end over a three-floor building: walking graph, readers,
+//! traces, particle filtering and queries all operate on the multi-floor
+//! plan unchanged, and stairs carry real walking cost.
+
+use ripq::floorplan::{multi_floor_office, MultiFloorParams, RoomId};
+use ripq::graph::build_walking_graph;
+use ripq::sim::{Experiment, ExperimentParams, SimWorld};
+
+#[test]
+fn multi_floor_graph_connected_and_stairs_cost_distance() {
+    let p = MultiFloorParams::default();
+    let plan = multi_floor_office(&p).unwrap();
+    let g = build_walking_graph(&plan);
+    assert!(g.is_connected(), "stairwells join the floors");
+
+    // Same (x, y-within-floor) room on floors 0 and 1: the walking
+    // distance must route through the stairwell and exceed the distance
+    // to the room's same-floor mirror neighbor.
+    let r0 = plan.room(RoomId::new(0));
+    let r_up = plan.room(RoomId::new(p.floor.room_count()));
+    assert_eq!(
+        r0.footprint().width(),
+        r_up.footprint().width(),
+        "floor copies are congruent"
+    );
+    let a = g.project(r0.center());
+    let b = g.project(r_up.center());
+    let inter_floor = g.network_distance(a, b);
+    assert!(inter_floor.is_finite());
+    // It must at least cover the vertical pitch (the unrolled gap).
+    assert!(
+        inter_floor >= p.pitch(),
+        "inter-floor distance {inter_floor} < pitch {}",
+        p.pitch()
+    );
+
+    // Same-floor far room is cheaper than the equivalent journey upstairs.
+    let r_far = plan.room(RoomId::new(29));
+    let same_floor = g.network_distance(a, g.project(r_far.center()));
+    assert!(same_floor < inter_floor + 1e-9);
+}
+
+#[test]
+fn accuracy_experiment_runs_on_three_floors() {
+    // More readers for three floors (19 per floor worth of hallway, scaled
+    // down for test runtime).
+    let params = ExperimentParams {
+        reader_count: 45,
+        num_objects: 30,
+        duration: 180,
+        warmup: 60,
+        eval_timestamps: 4,
+        range_queries_per_timestamp: 20,
+        knn_query_points: 6,
+        ..Default::default()
+    };
+    let plan = multi_floor_office(&MultiFloorParams::default()).unwrap();
+    let world = SimWorld::build_with_plan(plan, &params);
+    let report = Experiment::with_world(params, world).run();
+    assert!(report.range_queries_evaluated > 0);
+    assert!(report.knn_queries_evaluated > 0);
+    assert!(report.range_kl_pf.is_finite());
+    assert!(
+        report.knn_hit_pf > report.knn_hit_sm,
+        "PF {} vs SM {} on 3 floors",
+        report.knn_hit_pf,
+        report.knn_hit_sm
+    );
+}

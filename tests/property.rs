@@ -1,0 +1,228 @@
+//! Cross-crate property-based tests: randomized floor plans, reading
+//! sequences and particle clouds checked against structural invariants.
+
+use proptest::prelude::*;
+use ripq::floorplan::FloorPlanBuilder;
+use ripq::geom::{Point2, Rect};
+use ripq::graph::{build_walking_graph, AnchorSet, GraphPos};
+use ripq::pf::{ParticlePreprocessor, PreprocessorConfig};
+use ripq::rfid::{deploy_uniform, DataCollector, HistoryCollector, ObjectId, ReaderId, ReadingStore};
+
+/// Strategy: a random valid plan with one hallway and 1–6 rooms below it.
+fn arb_plan() -> impl Strategy<Value = ripq::floorplan::FloorPlan> {
+    (1usize..=6, 4.0f64..10.0, 1.5f64..3.0).prop_map(|(nrooms, room_w, hall_h)| {
+        let mut b = FloorPlanBuilder::new();
+        let total_w = nrooms as f64 * room_w;
+        let hall = b.add_hallway(Rect::new(0.0, 8.0, total_w, hall_h), "H");
+        for i in 0..nrooms {
+            let x = i as f64 * room_w;
+            let r = b.add_room(Rect::new(x, 0.0, room_w, 8.0), format!("R{i}"));
+            b.add_door(Point2::new(x + room_w / 2.0, 8.0), r, hall);
+        }
+        b.build().expect("constructed plans are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_plans_yield_connected_graphs(plan in arb_plan()) {
+        let g = build_walking_graph(&plan);
+        prop_assert!(g.is_connected());
+        // One room node per room, each reachable.
+        let rooms = plan.rooms().len();
+        let room_nodes = g.nodes().iter().filter(|n| n.kind.is_room()).count();
+        prop_assert_eq!(room_nodes, rooms);
+    }
+
+    #[test]
+    fn network_distance_is_a_metric_on_random_plans(
+        plan in arb_plan(),
+        fx in 0.0f64..1.0, fy in 0.0f64..1.0, fz in 0.0f64..1.0,
+    ) {
+        let g = build_walking_graph(&plan);
+        let b = plan.bounds();
+        let pick = |f: f64| {
+            g.project(Point2::new(
+                b.min().x + f * b.width(),
+                b.min().y + 0.5 * b.height(),
+            ))
+        };
+        let (x, y, z) = (pick(fx), pick(fy), pick(fz));
+        let dxy = g.network_distance(x, y);
+        let dyx = g.network_distance(y, x);
+        let dxz = g.network_distance(x, z);
+        let dzy = g.network_distance(z, y);
+        prop_assert!((dxy - dyx).abs() < 1e-6, "symmetry: {dxy} vs {dyx}");
+        prop_assert!(dxy <= dxz + dzy + 1e-6, "triangle: {dxy} > {dxz}+{dzy}");
+        prop_assert!(g.network_distance(x, x) < 1e-9);
+    }
+
+    #[test]
+    fn anchors_cover_every_edge_on_random_plans(
+        plan in arb_plan(),
+        spacing in 0.5f64..3.0,
+    ) {
+        let g = build_walking_graph(&plan);
+        let anchors = AnchorSet::generate(&g, &plan, spacing);
+        for e in g.edges() {
+            prop_assert!(!anchors.on_edge(e.id).is_empty());
+        }
+        // Nearest-anchor lookup is total and self-consistent.
+        for e in g.edges().iter().take(5) {
+            let pos = GraphPos::new(e.id, e.length() * 0.37);
+            let a = anchors.nearest(pos);
+            prop_assert_eq!(anchors.anchor(a).pos.edge, e.id);
+        }
+    }
+
+    #[test]
+    fn kde_preserves_probability_mass(
+        plan in arb_plan(),
+        bandwidth in 0.0f64..5.0,
+        offsets in proptest::collection::vec(0.0f64..1.0, 1..40),
+    ) {
+        let g = build_walking_graph(&plan);
+        let anchors = AnchorSet::generate(&g, &plan, 1.0);
+        let e = &g.edges()[0];
+        let n = offsets.len() as f64;
+        let cloud: Vec<(GraphPos, f64)> = offsets
+            .iter()
+            .map(|&f| (GraphPos::new(e.id, e.length() * f), 1.0 / n))
+            .collect();
+        let dist = anchors.kde_distribution(cloud, bandwidth);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        // All probabilities positive, anchors unique and sorted.
+        for w in dist.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        prop_assert!(dist.iter().all(|&(_, p)| p > 0.0));
+    }
+
+    /// Feeding identical detection streams, the history collector's view
+    /// at "now" is indistinguishable from the snapshot collector.
+    #[test]
+    fn history_view_equivalent_to_snapshot_collector(
+        steps in proptest::collection::vec(
+            proptest::option::of((0u32..3, 0u32..4)), 1..60
+        ),
+    ) {
+        let mut snap = DataCollector::new();
+        let mut hist = HistoryCollector::new();
+        let mut last_second = 0u64;
+        for (s, step) in steps.iter().enumerate() {
+            let second = s as u64;
+            last_second = second;
+            let det: Vec<(ObjectId, ReaderId)> = step
+                .map(|(o, r)| (ObjectId::new(o), ReaderId::new(r)))
+                .into_iter()
+                .collect();
+            snap.ingest_second(second, &det);
+            hist.ingest_second(second, &det);
+        }
+        let view = hist.view_at(last_second);
+        for o in (0..3).map(ObjectId::new) {
+            prop_assert_eq!(
+                view.last_detection(o),
+                snap.last_detection(o),
+                "last_detection mismatch for {}", o
+            );
+            prop_assert_eq!(
+                view.last_two_devices(o),
+                snap.last_two_devices(o),
+                "last_two_devices mismatch for {}", o
+            );
+            prop_assert_eq!(
+                view.last_episode(o),
+                snap.last_episode(o),
+                "last_episode mismatch for {}", o
+            );
+            match (ReadingStore::aggregated(&view, o), snap.aggregated(o)) {
+                (None, None) => {}
+                (Some(h), Some(d)) => {
+                    prop_assert_eq!(h.start_second, d.start_second);
+                    prop_assert_eq!(h.entries, d.entries);
+                }
+                (h, d) => {
+                    prop_assert!(false, "presence mismatch: {:?} vs {:?}", h.is_some(), d.is_some());
+                }
+            }
+        }
+    }
+
+    /// The preprocessor's output is always a probability distribution
+    /// (mass 1, sorted unique anchors), whatever reading pattern it saw.
+    #[test]
+    fn preprocessing_conserves_probability_mass(
+        pattern in proptest::collection::vec(proptest::option::of(0u32..19), 5..50),
+        seed in 0u64..500,
+    ) {
+        use rand::SeedableRng;
+        let plan = ripq::floorplan::office_building(&Default::default()).unwrap();
+        let graph = build_walking_graph(&plan);
+        let anchors = AnchorSet::generate(&graph, &plan, 1.0);
+        let readers = deploy_uniform(&plan, &graph, 19, 2.0);
+        let mut collector = DataCollector::new();
+        let o = ObjectId::new(0);
+        let mut any = false;
+        for (s, r) in pattern.iter().enumerate() {
+            let det: Vec<(ObjectId, ReaderId)> = r
+                .map(|r| {
+                    any = true;
+                    (o, ReaderId::new(r))
+                })
+                .into_iter()
+                .collect();
+            collector.ingest_second(s as u64, &det);
+        }
+        prop_assume!(any);
+        let pre = ParticlePreprocessor::new(
+            &graph,
+            &anchors,
+            &readers,
+            PreprocessorConfig::default(),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let now = pattern.len() as u64;
+        let out = pre
+            .process_object(&mut rng, &collector, o, now, None)
+            .expect("object was detected");
+        let total: f64 = out.distribution.iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        for w in out.distribution.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "sorted unique anchors");
+        }
+        prop_assert!(out.distribution.iter().all(|&(_, p)| p > 0.0));
+    }
+
+    #[test]
+    fn collector_retention_is_bounded(
+        detections in proptest::collection::vec((0u32..5, 0u32..6), 10..300),
+    ) {
+        // Random walk of detections with occasional silent seconds.
+        let mut c = DataCollector::new();
+        for (s, &(o, r)) in detections.iter().enumerate() {
+            let second = s as u64;
+            if r == 5 {
+                c.ingest_second(second, &[]);
+            } else {
+                c.ingest_second(second, &[(ObjectId::new(o), ReaderId::new(r))]);
+            }
+        }
+        for o in (0..5).map(ObjectId::new) {
+            if let Some(agg) = c.aggregated(o) {
+                // Retained window ends at or before the present and starts
+                // at the older of the two most recent episodes.
+                prop_assert!(agg.start_second <= agg.end_second());
+                prop_assert!(
+                    agg.entries.len() as u64 <= detections.len() as u64,
+                    "cannot retain more than fed"
+                );
+                let (_, first, _) = c.last_episode(o).expect("detected object");
+                prop_assert!(agg.start_second <= first);
+            }
+        }
+    }
+}
