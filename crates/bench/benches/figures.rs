@@ -6,8 +6,8 @@
 //! recorded in `EXPERIMENTS.md`).
 
 use ripq_bench::{
-    print_rows, print_table2, run_fig10, run_fig11, run_fig12, run_fig13, run_fig9, Scale,
-    Series, FULL_SERIES,
+    print_rows, print_table2, run_fig10, run_fig11, run_fig12, run_fig13, run_fig9, Scale, Series,
+    FULL_SERIES,
 };
 
 fn main() {

@@ -11,8 +11,7 @@ use ripq_floorplan::{office_building, OfficeParams};
 use ripq_geom::{Point2, Rect};
 use ripq_graph::{build_walking_graph, AnchorObjectIndex, AnchorSet};
 use ripq_pf::{
-    resample_indices, Heading, IndoorState, MotionModel, ParticlePreprocessor,
-    PreprocessorConfig,
+    resample_indices, Heading, IndoorState, MotionModel, ParticlePreprocessor, PreprocessorConfig,
 };
 use ripq_rfid::{deploy_uniform, DataCollector, ObjectId};
 use std::hint::black_box;
@@ -144,6 +143,54 @@ fn bench_preprocess(c: &mut Criterion) {
     });
 }
 
+/// Sequential vs. parallel Algorithm 2 over a 200-object workload.
+///
+/// Every parallelism setting produces bit-identical output (each object
+/// filters on its own deterministic RNG stream), so the group measures
+/// pure wall-clock scaling of the worker fan-out.
+fn bench_preprocess_parallel(c: &mut Criterion) {
+    let plan = office_building(&OfficeParams::default()).unwrap();
+    let graph = build_walking_graph(&plan);
+    let anchors = AnchorSet::generate(&graph, &plan, 1.0);
+    let readers = deploy_uniform(&plan, &graph, 19, 2.0);
+    let pre = ParticlePreprocessor::new(&graph, &anchors, &readers, PreprocessorConfig::default());
+    // 200 objects, each with a 30-second history past a couple of readers.
+    let mut collector = DataCollector::new();
+    for s in 0..30u64 {
+        let det: Vec<_> = (0..200u32)
+            .map(|i| {
+                (
+                    ObjectId::new(i),
+                    readers[((i + s as u32) % 19) as usize].id(),
+                )
+            })
+            .collect();
+        collector.ingest_second(s, &det);
+    }
+    let objects: Vec<ObjectId> = (0..200).map(ObjectId::new).collect();
+    let mut group = c.benchmark_group("preprocess_200obj");
+    for workers in [1usize, 2, 4] {
+        let parallelism = if workers == 1 { None } else { Some(workers) };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &parallelism,
+            |b, &par| {
+                b.iter(|| {
+                    black_box(pre.process_streamed(
+                        0x5eed,
+                        &collector,
+                        black_box(&objects),
+                        30,
+                        None,
+                        par,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_symbolic_index(c: &mut Criterion) {
     use ripq_symbolic::SymbolicModel;
     let plan = office_building(&OfficeParams::default()).unwrap();
@@ -219,6 +266,7 @@ criterion_group!(
     bench_range_query,
     bench_knn_query,
     bench_preprocess,
+    bench_preprocess_parallel,
     bench_symbolic_index,
     bench_ptknn,
     bench_system_evaluate

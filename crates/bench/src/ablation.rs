@@ -164,7 +164,10 @@ pub fn topology(scale: Scale) -> Vec<(&'static str, ripq_sim::AccuracyReport)> {
             "office",
             office_building(&OfficeParams::default()).expect("valid"),
         ),
-        ("mall", shopping_mall(&MallParams::default()).expect("valid")),
+        (
+            "mall",
+            shopping_mall(&MallParams::default()).expect("valid"),
+        ),
         (
             "subway",
             subway_station(&SubwayParams::default()).expect("valid"),
@@ -176,7 +179,13 @@ pub fn topology(scale: Scale) -> Vec<(&'static str, ripq_sim::AccuracyReport)> {
     ];
     // The 3-floor tower has ~3x the hallway length: scale the reader
     // budget so coverage density matches the single-floor cases.
-    let readers_for = |label: &str| if label == "tower-3f" { 57 } else { base.reader_count };
+    let readers_for = |label: &str| {
+        if label == "tower-3f" {
+            57
+        } else {
+            base.reader_count
+        }
+    };
     plans
         .into_iter()
         .map(|(label, plan)| {

@@ -18,7 +18,11 @@ use ripq_bench::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper_flag = args.iter().any(|a| a == "--paper");
-    let scale = if paper_flag { Scale::Paper } else { Scale::from_env() };
+    let scale = if paper_flag {
+        Scale::Paper
+    } else {
+        Scale::from_env()
+    };
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -64,7 +68,10 @@ fn main() {
         ),
         "perf" => {
             println!("\n== Performance: evaluation latency vs population ==");
-            println!("{:>10}{:>16}{:>16}{:>12}", "objects", "evaluate", "preprocess", "candidates");
+            println!(
+                "{:>10}{:>16}{:>16}{:>12}",
+                "objects", "evaluate", "preprocess", "candidates"
+            );
             for r in run_perf(scale) {
                 println!(
                     "{:>10}{:>16}{:>16}{:>12}",
@@ -150,7 +157,14 @@ fn main() {
 
     if what == "all" {
         for name in [
-            "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "perf", "ablations",
+            "table2",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "perf",
+            "ablations",
         ] {
             run_one(name);
         }

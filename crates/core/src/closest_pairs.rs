@@ -59,7 +59,13 @@ pub fn evaluate_closest_pairs(
     // Distinct anchors used by any distribution.
     let mut support: Vec<AnchorId> = objects
         .iter()
-        .flat_map(|o| index.distribution(o).expect("listed").iter().map(|&(a, _)| a))
+        .flat_map(|o| {
+            index
+                .distribution(o)
+                .expect("listed")
+                .iter()
+                .map(|&(a, _)| a)
+        })
         .collect();
     support.sort_unstable();
     support.dedup();
@@ -153,8 +159,20 @@ mod tests {
         let mut index = AnchorObjectIndex::new();
         let base = plan.hallways()[0].footprint().center();
         place(&graph, &anchors, &mut index, o(0), base);
-        place(&graph, &anchors, &mut index, o(1), base + Point2::new(2.0, 0.0));
-        place(&graph, &anchors, &mut index, o(2), base + Point2::new(15.0, 0.0));
+        place(
+            &graph,
+            &anchors,
+            &mut index,
+            o(1),
+            base + Point2::new(2.0, 0.0),
+        );
+        place(
+            &graph,
+            &anchors,
+            &mut index,
+            o(2),
+            base + Point2::new(15.0, 0.0),
+        );
         let q = ClosestPairsQuery {
             m: 3,
             contact_radius: 3.0,
@@ -173,7 +191,13 @@ mod tests {
         let (plan, graph, anchors) = setup();
         let mut index = AnchorObjectIndex::new();
         for i in 0..4 {
-            place(&graph, &anchors, &mut index, o(i), plan.rooms()[i as usize].center());
+            place(
+                &graph,
+                &anchors,
+                &mut index,
+                o(i),
+                plan.rooms()[i as usize].center(),
+            );
         }
         let q = ClosestPairsQuery {
             m: 2,

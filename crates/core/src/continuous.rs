@@ -152,7 +152,10 @@ impl ContinuousEngine {
     }
 
     /// Registers a continuous range query.
-    pub fn add_range(&mut self, window: ripq_geom::Rect) -> Result<crate::QueryId, crate::CoreError> {
+    pub fn add_range(
+        &mut self,
+        window: ripq_geom::Rect,
+    ) -> Result<crate::QueryId, crate::CoreError> {
         let id = crate::QueryId::new(self.next);
         let q = RangeQuery::new(id, window)?;
         self.next += 1;

@@ -76,7 +76,6 @@ pub fn evaluate_knn_with_paths(
     query: &KnnQuery,
     sp: &ripq_graph::ShortestPaths,
 ) -> ResultSet {
-
     // Seed the frontier with every anchor's network distance. (One
     // distance lookup per anchor is O(1) after the Dijkstra pass.)
     let mut heap = BinaryHeap::with_capacity(anchors.anchors().len());
@@ -216,12 +215,8 @@ mod tests {
             );
         }
         for k in [1usize, 3, 5, 9] {
-            let q = KnnQuery::new(
-                QueryId::new(0),
-                plan.hallways()[1].footprint().center(),
-                k,
-            )
-            .unwrap();
+            let q =
+                KnnQuery::new(QueryId::new(0), plan.hallways()[1].footprint().center(), k).unwrap();
             let rs = evaluate_knn(&graph, &anchors, &index, &q);
             assert!(rs.len() >= k, "k={k}: got {}", rs.len());
             assert!(rs.total_probability() >= k as f64 - 1e-9);
@@ -264,7 +259,13 @@ mod tests {
         // Object 0 inside the adjacent room (short walk through door).
         place(&graph, &anchors, &mut index, o(0), room.center());
         // Object 1 on the other side of the building.
-        place(&graph, &anchors, &mut index, o(1), plan.rooms()[25].center());
+        place(
+            &graph,
+            &anchors,
+            &mut index,
+            o(1),
+            plan.rooms()[25].center(),
+        );
         let q = KnnQuery::new(QueryId::new(0), q_point, 1).unwrap();
         let rs = evaluate_knn(&graph, &anchors, &index, &q);
         assert!((rs.probability(o(0)) - 1.0).abs() < 1e-9);

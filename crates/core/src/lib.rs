@@ -29,8 +29,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod continuous;
 mod closest_pairs;
+pub mod continuous;
 mod error;
 mod knn_eval;
 mod occupancy;
@@ -45,8 +45,11 @@ pub use closest_pairs::{evaluate_closest_pairs, ClosestPairsQuery, ObjectPair};
 pub use error::CoreError;
 pub use knn_eval::{evaluate_knn, evaluate_knn_with_paths};
 pub use occupancy::{room_occupancy, OccupancyReport, RoomOccupancy};
+pub use optimizer::{
+    prune_knn_candidates, prune_knn_candidates_with_paths, prune_range_candidates,
+    uncertain_region_radius,
+};
 pub use ptknn::{evaluate_ptknn, PtknnQuery};
-pub use optimizer::{prune_knn_candidates, prune_range_candidates, uncertain_region_radius};
 pub use query::{KnnQuery, QueryId, RangeQuery};
 pub use range_eval::evaluate_range;
 pub use result::{ProbResult, ResultSet};

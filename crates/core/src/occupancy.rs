@@ -60,8 +60,7 @@ pub fn room_occupancy(
     index: &AnchorObjectIndex<ObjectId>,
 ) -> OccupancyReport {
     // Per (room, object) probability accumulation.
-    let mut per_room: Vec<HashMap<ObjectId, f64>> =
-        vec![HashMap::new(); plan.rooms().len()];
+    let mut per_room: Vec<HashMap<ObjectId, f64>> = vec![HashMap::new(); plan.rooms().len()];
     let mut hallway_expected = 0.0;
     let objects: Vec<ObjectId> = index.objects().copied().collect();
     for o in &objects {

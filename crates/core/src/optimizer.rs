@@ -15,17 +15,12 @@
 
 use crate::KnnQuery;
 use ripq_geom::Rect;
-use ripq_graph::WalkingGraph;
+use ripq_graph::{ShortestPaths, WalkingGraph};
 use ripq_rfid::{DataCollector, ObjectId, Reader};
 
 /// Radius of an object's uncertain region: how far it may have walked
 /// since its last detection, plus the detection radius itself.
-pub fn uncertain_region_radius(
-    reader: &Reader,
-    t_last: u64,
-    now: u64,
-    max_speed: f64,
-) -> f64 {
+pub fn uncertain_region_radius(reader: &Reader, t_last: u64, now: u64, max_speed: f64) -> f64 {
     let elapsed = now.saturating_sub(t_last) as f64;
     max_speed * elapsed + reader.activation_range()
 }
@@ -78,7 +73,22 @@ pub fn prune_knn_candidates(
 ) -> Vec<ObjectId> {
     let qpos = graph.project(query.point);
     let sp = graph.shortest_paths_from(qpos);
+    prune_knn_candidates_with_paths(graph, collector, readers, query, now, max_speed, &sp)
+}
 
+/// [`prune_knn_candidates`] with a precomputed Dijkstra tree for the
+/// query point. Registered queries have fixed points, so the facade
+/// memoizes the tree (see [`ripq_graph::ShortestPathCache`]) instead of
+/// re-running Dijkstra on every evaluation pass.
+pub fn prune_knn_candidates_with_paths(
+    graph: &WalkingGraph,
+    collector: &DataCollector,
+    readers: &[Reader],
+    query: &KnnQuery,
+    now: u64,
+    max_speed: f64,
+    sp: &ShortestPaths,
+) -> Vec<ObjectId> {
     let mut bounds: Vec<(ObjectId, f64, f64)> = Vec::new();
     for o in collector.objects() {
         let Some((rid, t_last)) = collector.last_detection(o) else {

@@ -16,7 +16,7 @@
 //! attribute-level uncertainty.
 
 use crate::{CoreError, ResultSet};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ripq_geom::Point2;
 use ripq_graph::{AnchorId, AnchorObjectIndex, AnchorSet, WalkingGraph};
 use ripq_rfid::ObjectId;
@@ -219,7 +219,13 @@ mod tests {
         let near = anchors.nearest(graph.project(q_point + Point2::new(2.0, 0.0)));
         let far = anchors.nearest(graph.project(plan.hallways()[2].footprint().center()));
         index.set_object(o(0), vec![(near, 0.1), (far, 0.9)]);
-        place(&graph, &anchors, &mut index, o(1), q_point + Point2::new(5.0, 0.0));
+        place(
+            &graph,
+            &anchors,
+            &mut index,
+            o(1),
+            q_point + Point2::new(5.0, 0.0),
+        );
         let mut rng = StdRng::seed_from_u64(3);
         // T = 0.5: o0 (≈10% member) is filtered out, o1 (≈90%) stays.
         let q = PtknnQuery::new(q_point, 1, 0.5).unwrap();
@@ -241,7 +247,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         assert!(evaluate_ptknn(&mut rng, &graph, &anchors, &index, &q, 100).is_empty());
         let mut index2 = AnchorObjectIndex::new();
-        place(&graph, &anchors, &mut index2, o(0), plan.rooms()[0].center());
+        place(
+            &graph,
+            &anchors,
+            &mut index2,
+            o(0),
+            plan.rooms()[0].center(),
+        );
         assert!(evaluate_ptknn(&mut rng, &graph, &anchors, &index2, &q, 0).is_empty());
     }
 

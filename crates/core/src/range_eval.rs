@@ -98,10 +98,7 @@ mod tests {
         let room_anchors = anchors.in_room(room.id());
         assert!(room_anchors.len() >= 2);
         let mut index = AnchorObjectIndex::new();
-        index.set_object(
-            o(0),
-            vec![(room_anchors[0], 0.5), (room_anchors[1], 0.3)],
-        );
+        index.set_object(o(0), vec![(room_anchors[0], 0.5), (room_anchors[1], 0.3)]);
         // Window covering the whole room: ratio 1, probability 0.8.
         let rs = evaluate_range(&plan, &anchors, &index, room.footprint());
         assert!((rs.probability(o(0)) - 0.8).abs() < 1e-9);
@@ -116,12 +113,7 @@ mod tests {
         index.set_object(o(0), vec![(room_anchors[0], 1.0)]);
         // Left half of the room.
         let fp = room.footprint();
-        let half = Rect::new(
-            fp.min().x,
-            fp.min().y,
-            fp.width() / 2.0,
-            fp.height(),
-        );
+        let half = Rect::new(fp.min().x, fp.min().y, fp.width() / 2.0, fp.height());
         let rs = evaluate_range(&plan, &anchors, &index, &half);
         assert!(
             (rs.probability(o(0)) - 0.5).abs() < 1e-9,

@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn sorted_is_descending_and_deterministic() {
-        let rs: ResultSet = [(o(3), 0.1), (o(1), 0.5), (o(2), 0.5)].into_iter().collect();
+        let rs: ResultSet = [(o(3), 0.1), (o(1), 0.5), (o(2), 0.5)]
+            .into_iter()
+            .collect();
         let v = rs.sorted();
         assert_eq!(v[0].object, o(1)); // tie broken by id
         assert_eq!(v[1].object, o(2));

@@ -2,18 +2,22 @@
 
 use crate::{
     evaluate_closest_pairs, evaluate_knn_with_paths, evaluate_ptknn, evaluate_range,
-    prune_knn_candidates, prune_range_candidates, ClosestPairsQuery, CoreError, KnnQuery,
-    ObjectPair, PtknnQuery, QueryId, RangeQuery, ResultSet,
+    prune_knn_candidates_with_paths, prune_range_candidates, ClosestPairsQuery, CoreError,
+    KnnQuery, ObjectPair, PtknnQuery, QueryId, RangeQuery, ResultSet,
 };
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use ripq_floorplan::FloorPlan;
 use ripq_geom::{Point2, Rect};
-use ripq_graph::{build_walking_graph, AnchorObjectIndex, AnchorSet, ShortestPaths, WalkingGraph};
+use ripq_graph::{
+    build_walking_graph, AnchorObjectIndex, AnchorSet, ShortestPathCache, ShortestPaths,
+    WalkingGraph,
+};
 use ripq_pf::{CacheStats, ParticleCache, ParticlePreprocessor, PreprocessorConfig};
 use ripq_rfid::{deploy_uniform, DataCollector, ObjectId, RawReading, Reader, ReaderId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of an [`IndoorQuerySystem`]. Defaults match Table 2 of
@@ -37,6 +41,11 @@ pub struct SystemConfig {
     pub prune_candidates: bool,
     /// Monte-Carlo rounds per PTkNN query evaluation.
     pub ptknn_rounds: usize,
+    /// Worker threads for particle-filter preprocessing. `None` (or
+    /// `Some(0|1)`) runs on the calling thread. Results are bit-identical
+    /// for every setting: each object draws from its own RNG stream (see
+    /// [`ripq_pf::derive_stream_seed`]).
+    pub parallelism: Option<usize>,
 }
 
 impl Default for SystemConfig {
@@ -50,6 +59,7 @@ impl Default for SystemConfig {
             use_cache: true,
             prune_candidates: true,
             ptknn_rounds: 200,
+            parallelism: None,
         }
     }
 }
@@ -108,11 +118,14 @@ pub struct IndoorQuerySystem {
     cache: ParticleCache,
     config: SystemConfig,
     rng: StdRng,
+    /// Memoized Dijkstra trees keyed by source position, shared by query
+    /// registration and per-pass candidate pruning.
+    sp_cache: ShortestPathCache,
     range_queries: HashMap<QueryId, RangeQuery>,
     knn_queries: HashMap<QueryId, KnnQuery>,
     /// Dijkstra results for registered kNN queries' fixed points, computed
     /// once at registration and reused every evaluation pass.
-    knn_paths: HashMap<QueryId, ShortestPaths>,
+    knn_paths: HashMap<QueryId, Arc<ShortestPaths>>,
     ptknn_queries: HashMap<QueryId, PtknnQuery>,
     closest_pairs_queries: HashMap<QueryId, ClosestPairsQuery>,
     next_query: u32,
@@ -135,6 +148,7 @@ impl IndoorQuerySystem {
             cache: ParticleCache::new(),
             config,
             rng: StdRng::seed_from_u64(seed),
+            sp_cache: ShortestPathCache::new(),
             range_queries: HashMap::new(),
             knn_queries: HashMap::new(),
             knn_paths: HashMap::new(),
@@ -199,7 +213,7 @@ impl IndoorQuerySystem {
         let id = QueryId::new(self.next_query);
         let q = KnnQuery::new(id, point, k)?;
         self.next_query += 1;
-        let sp = self.graph.shortest_paths_from(self.graph.project(point));
+        let sp = self.sp_cache.paths(&self.graph, self.graph.project(point));
         self.knn_paths.insert(id, sp);
         self.knn_queries.insert(id, q);
         Ok(id)
@@ -228,13 +242,8 @@ impl IndoorQuerySystem {
     ) -> Result<QueryId, CoreError> {
         let id = QueryId::new(self.next_query);
         self.next_query += 1;
-        self.closest_pairs_queries.insert(
-            id,
-            ClosestPairsQuery {
-                m,
-                contact_radius,
-            },
-        );
+        self.closest_pairs_queries
+            .insert(id, ClosestPairsQuery { m, contact_radius });
         Ok(id)
     }
 
@@ -269,8 +278,7 @@ impl IndoorQuerySystem {
         // 1. Query-aware optimization (§4.3).
         let t_prune = Instant::now();
         let candidates: Vec<ObjectId> = if self.config.prune_candidates {
-            let windows: Vec<Rect> =
-                self.range_queries.values().map(|q| q.window).collect();
+            let windows: Vec<Rect> = self.range_queries.values().map(|q| q.window).collect();
             let mut c = prune_range_candidates(
                 &self.collector,
                 &self.readers,
@@ -278,31 +286,37 @@ impl IndoorQuerySystem {
                 now,
                 self.config.max_speed,
             );
-            for q in self.knn_queries.values() {
-                c.extend(prune_knn_candidates(
+            for (id, q) in &self.knn_queries {
+                c.extend(prune_knn_candidates_with_paths(
                     &self.graph,
                     &self.collector,
                     &self.readers,
                     q,
                     now,
                     self.config.max_speed,
+                    &self.knn_paths[id],
                 ));
             }
             // PTkNN pruning reuses the kNN bound; closest-pairs queries
-            // are global and keep every object.
+            // are global and keep every object. The Dijkstra tree of each
+            // fixed query point is memoized across passes.
             for q in self.ptknn_queries.values() {
                 let as_knn = KnnQuery {
                     id: QueryId::new(u32::MAX),
                     point: q.point,
                     k: q.k,
                 };
-                c.extend(prune_knn_candidates(
+                let sp = self
+                    .sp_cache
+                    .paths(&self.graph, self.graph.project(q.point));
+                c.extend(prune_knn_candidates_with_paths(
                     &self.graph,
                     &self.collector,
                     &self.readers,
                     &as_knn,
                     now,
                     self.config.max_speed,
+                    &sp,
                 ));
             }
             if !self.closest_pairs_queries.is_empty() {
@@ -320,20 +334,27 @@ impl IndoorQuerySystem {
         let pruning = t_prune.elapsed();
 
         // 2. Particle-filter preprocessing (§4.4) + cache (§4.5).
+        // One pass seed is drawn from the master RNG; every candidate then
+        // filters on its own stream derived from (pass seed, object,
+        // resume timestamp), so the outcome is identical whatever
+        // `config.parallelism` says.
         let t_pre = Instant::now();
+        let pass_seed: u64 = self.rng.random();
         let preprocessor = ParticlePreprocessor::new(
             &self.graph,
             &self.anchors,
             &self.readers,
             self.config.preprocess,
         );
-        let cache = if self.config.use_cache {
-            Some(&mut self.cache)
-        } else {
-            None
-        };
-        let index =
-            preprocessor.process(&mut self.rng, &self.collector, &candidates, now, cache);
+        let cache = self.config.use_cache.then(|| self.cache.shared());
+        let index = preprocessor.process_streamed(
+            pass_seed,
+            &self.collector,
+            &candidates,
+            now,
+            cache,
+            self.config.parallelism,
+        );
         let preprocessing = t_pre.elapsed();
 
         // 3. Query evaluation (§4.6).
@@ -422,9 +443,7 @@ mod tests {
     #[test]
     fn register_and_deregister() {
         let mut sys = system();
-        let r = sys
-            .register_range(Rect::new(0.0, 9.0, 10.0, 2.0))
-            .unwrap();
+        let r = sys.register_range(Rect::new(0.0, 9.0, 10.0, 2.0)).unwrap();
         let k = sys.register_knn(Point2::new(10.0, 10.0), 3).unwrap();
         assert_ne!(r, k);
         assert_eq!(sys.query_count(), 2);
@@ -436,9 +455,7 @@ mod tests {
         );
         // Validation errors propagate.
         assert!(sys.register_knn(Point2::new(0.0, 0.0), 0).is_err());
-        assert!(sys
-            .register_range(Rect::new(0.0, 0.0, 0.0, 0.0))
-            .is_err());
+        assert!(sys.register_range(Rect::new(0.0, 0.0, 0.0, 0.0)).is_err());
     }
 
     #[test]
@@ -544,10 +561,7 @@ mod tests {
         let r1 = sys.readers()[1];
         let r18 = sys.readers()[18];
         for s in 0..3u64 {
-            sys.ingest_detections(
-                s,
-                &[(o(0), r0.id()), (o(1), r1.id()), (o(2), r18.id())],
-            );
+            sys.ingest_detections(s, &[(o(0), r0.id()), (o(1), r1.id()), (o(2), r18.id())]);
         }
         let qid = sys.register_closest_pairs(1, 20.0).unwrap();
         let report = sys.evaluate(3);

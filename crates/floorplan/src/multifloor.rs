@@ -152,9 +152,7 @@ mod tests {
         let overlapping = plan
             .hallways()
             .iter()
-            .filter(|h| {
-                h.id() != stairs.id() && h.footprint().intersects(stairs.footprint())
-            })
+            .filter(|h| h.id() != stairs.id() && h.footprint().intersects(stairs.footprint()))
             .count();
         assert!(overlapping >= 2, "stairs bridge two floors: {overlapping}");
         // A point in floor 1's band locates to a floor-1 entity.
@@ -180,9 +178,6 @@ mod tests {
         let plan = multi_floor_office(&MultiFloorParams::default()).unwrap();
         assert!(plan.rooms().iter().any(|r| r.name().starts_with("F0-")));
         assert!(plan.rooms().iter().any(|r| r.name().starts_with("F2-")));
-        assert!(plan
-            .hallways()
-            .iter()
-            .any(|h| h.name() == "stairs-1-2"));
+        assert!(plan.hallways().iter().any(|h| h.name() == "stairs-1-2"));
     }
 }

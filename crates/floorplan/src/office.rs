@@ -138,7 +138,11 @@ pub(crate) fn add_office_floor(
                     Rect::new(cx, row_y, cw, d),
                     format!("{prefix}R{room_no}{side}"),
                 );
-                b.add_door(Point2::new(cx + cw * 0.5, door_y), room, horizontal[k as usize]);
+                b.add_door(
+                    Point2::new(cx + cw * 0.5, door_y),
+                    room,
+                    horizontal[k as usize],
+                );
                 room_no += 1;
             }
         }

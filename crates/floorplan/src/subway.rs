@@ -68,7 +68,12 @@ pub fn subway_station(params: &SubwayParams) -> Result<FloorPlan, FloorPlanError
         b.add_hallway(
             Rect::new(sx, plat_y + p.platform_width, stair_w, mezz)
                 // Overlap both halls slightly so the network connects.
-                .union(&Rect::new(sx, plat_y + p.platform_width - 1.0, stair_w, 1.0))
+                .union(&Rect::new(
+                    sx,
+                    plat_y + p.platform_width - 1.0,
+                    stair_w,
+                    1.0,
+                ))
                 .union(&Rect::new(sx, conc_y, stair_w, 1.0)),
             format!("stairs-{i}"),
         );
@@ -79,7 +84,10 @@ pub fn subway_station(params: &SubwayParams) -> Result<FloorPlan, FloorPlanError
     let shop_w = p.length / p.shops as f64;
     for i in 0..p.shops {
         let x = i as f64 * shop_w;
-        let shop = b.add_room(Rect::new(x, shop_y, shop_w, shop_depth), format!("shop-{i}"));
+        let shop = b.add_room(
+            Rect::new(x, shop_y, shop_w, shop_depth),
+            format!("shop-{i}"),
+        );
         b.add_door(Point2::new(x + shop_w / 2.0, shop_y), shop, concourse);
     }
 

@@ -230,7 +230,7 @@ mod tests {
         assert!(rect.intersects_circle(Point2::new(3.0, 1.0), 1.0));
         assert!(!rect.intersects_circle(Point2::new(3.1, 1.0), 1.0));
         assert!(rect.intersects_circle(Point2::new(1.0, 1.0), 0.1)); // center inside
-        // Corner case: circle near the corner.
+                                                                     // Corner case: circle near the corner.
         assert!(rect.intersects_circle(Point2::new(3.0, 3.0), 1.5));
         assert!(!rect.intersects_circle(Point2::new(3.0, 3.0), 1.0));
     }

@@ -217,9 +217,15 @@ mod tests {
     #[test]
     fn circle_overlap_miss() {
         let s = seg(0.0, 0.0, 10.0, 0.0);
-        assert!(s.circle_overlap_interval(Point2::new(5.0, 3.0), 2.0).is_none());
-        assert!(s.circle_overlap_interval(Point2::new(-5.0, 0.0), 2.0).is_none());
-        assert!(s.circle_overlap_interval(Point2::new(15.0, 0.0), 2.0).is_none());
+        assert!(s
+            .circle_overlap_interval(Point2::new(5.0, 3.0), 2.0)
+            .is_none());
+        assert!(s
+            .circle_overlap_interval(Point2::new(-5.0, 0.0), 2.0)
+            .is_none());
+        assert!(s
+            .circle_overlap_interval(Point2::new(15.0, 0.0), 2.0)
+            .is_none());
     }
 
     #[test]

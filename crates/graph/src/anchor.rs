@@ -10,7 +10,6 @@ use crate::{AnchorId, EdgeId, GraphPos, WalkingGraph};
 use ripq_floorplan::{Axis, FloorPlan, Hallway, HallwayId, Location, RoomId};
 use ripq_geom::{Point2, Rect};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A single anchor point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -189,13 +188,11 @@ impl AnchorSet {
         &self,
         positions: impl IntoIterator<Item = (GraphPos, f64)>,
     ) -> Vec<(AnchorId, f64)> {
-        let mut acc: HashMap<AnchorId, f64> = HashMap::new();
+        let mut acc = DenseAccumulator::new(self.anchors.len());
         for (pos, w) in positions {
-            *acc.entry(self.nearest(pos)).or_insert(0.0) += w;
+            acc.add(self.nearest(pos), w);
         }
-        let mut out: Vec<(AnchorId, f64)> = acc.into_iter().collect();
-        out.sort_by_key(|(a, _)| *a);
-        out
+        acc.into_sorted()
     }
 
     /// Kernel-density variant of [`AnchorSet::snap_distribution`]: each
@@ -215,11 +212,13 @@ impl AnchorSet {
         if bandwidth <= 0.0 {
             return self.snap_distribution(positions);
         }
-        let mut acc: HashMap<AnchorId, f64> = HashMap::new();
+        let mut acc = DenseAccumulator::new(self.anchors.len());
+        // Kernel scratch reused across positions to avoid re-allocating.
+        let mut kernel: Vec<(AnchorId, f64)> = Vec::new();
         for (pos, w) in positions {
             let list = &self.per_edge[pos.edge.index()];
             // Collect kernel weights over in-bandwidth anchors.
-            let mut kernel: Vec<(AnchorId, f64)> = Vec::new();
+            kernel.clear();
             let mut total = 0.0;
             for &a in list {
                 let d = (self.anchors[a.index()].pos.offset - pos.offset).abs();
@@ -231,16 +230,58 @@ impl AnchorSet {
             }
             if total <= 0.0 {
                 // No anchor in reach (very coarse anchor grids): snap.
-                *acc.entry(self.nearest(pos)).or_insert(0.0) += w;
+                acc.add(self.nearest(pos), w);
             } else {
-                for (a, k) in kernel {
-                    *acc.entry(a).or_insert(0.0) += w * k / total;
+                for &(a, k) in &kernel {
+                    acc.add(a, w * k / total);
                 }
             }
         }
-        let mut out: Vec<(AnchorId, f64)> = acc.into_iter().collect();
-        out.sort_by_key(|(a, _)| *a);
-        out
+        acc.into_sorted()
+    }
+}
+
+/// Dense weight accumulator used by the snap/KDE conversions.
+///
+/// Replaces the former per-call `HashMap<AnchorId, f64>`: a flat `f64`
+/// slot per anchor plus a first-touch list. Per-anchor sums are built in
+/// the exact position-iteration order (f64 addition is not associative,
+/// so the order is part of the bit-for-bit determinism contract), and the
+/// output is sorted by anchor id like before — only the hashing cost is
+/// gone. `AnchorSet` itself stays read-only (`&self`) during conversion,
+/// so parallel preprocessing workers share it without synchronization.
+struct DenseAccumulator {
+    weight: Vec<f64>,
+    seen: Vec<bool>,
+    /// Touched anchors in first-touch order.
+    touched: Vec<AnchorId>,
+}
+
+impl DenseAccumulator {
+    fn new(anchor_count: usize) -> Self {
+        DenseAccumulator {
+            weight: vec![0.0; anchor_count],
+            seen: vec![false; anchor_count],
+            touched: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, a: AnchorId, w: f64) {
+        let i = a.index();
+        if !self.seen[i] {
+            self.seen[i] = true;
+            self.touched.push(a);
+        }
+        self.weight[i] += w;
+    }
+
+    fn into_sorted(mut self) -> Vec<(AnchorId, f64)> {
+        self.touched.sort_unstable();
+        self.touched
+            .into_iter()
+            .map(|a| (a, self.weight[a.index()]))
+            .collect()
     }
 }
 

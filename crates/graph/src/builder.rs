@@ -180,11 +180,7 @@ pub fn build_walking_graph(plan: &FloorPlan) -> WalkingGraph {
         adjacency[e.b.index()].push(e.id);
     }
 
-    let room_nodes_dense: Vec<NodeId> = plan
-        .rooms()
-        .iter()
-        .map(|r| room_nodes[&r.id()])
-        .collect();
+    let room_nodes_dense: Vec<NodeId> = plan.rooms().iter().map(|r| room_nodes[&r.id()]).collect();
 
     WalkingGraph {
         nodes: acc.nodes,
@@ -216,11 +212,7 @@ mod tests {
     fn one_room_node_per_room() {
         let plan = office_building(&OfficeParams::default()).unwrap();
         let g = build_walking_graph(&plan);
-        let room_nodes: Vec<_> = g
-            .nodes()
-            .iter()
-            .filter(|n| n.kind.is_room())
-            .collect();
+        let room_nodes: Vec<_> = g.nodes().iter().filter(|n| n.kind.is_room()).collect();
         assert_eq!(room_nodes.len(), plan.rooms().len());
         // Each room node sits at the room center and has exactly one door
         // link in the default office (one door per room).

@@ -44,13 +44,9 @@ impl<K: Copy + Eq + Hash> AnchorObjectIndex<K> {
     /// repeated preprocessing runs never leave stale probabilities behind.
     pub fn set_object(&mut self, object: K, dist: Vec<(AnchorId, f64)>) {
         self.remove_object(&object);
-        let dist: Vec<(AnchorId, f64)> =
-            dist.into_iter().filter(|&(_, p)| p > 0.0).collect();
+        let dist: Vec<(AnchorId, f64)> = dist.into_iter().filter(|&(_, p)| p > 0.0).collect();
         for &(anchor, p) in &dist {
-            self.by_anchor
-                .entry(anchor)
-                .or_default()
-                .push((object, p));
+            self.by_anchor.entry(anchor).or_default().push((object, p));
         }
         if !dist.is_empty() {
             self.by_object.insert(object, dist);

@@ -43,12 +43,7 @@ pub struct Path {
 
 impl Path {
     /// A path that stays within a single edge.
-    pub(crate) fn single_leg(
-        _graph: &WalkingGraph,
-        edge: EdgeId,
-        from: f64,
-        to: f64,
-    ) -> Path {
+    pub(crate) fn single_leg(_graph: &WalkingGraph, edge: EdgeId, from: f64, to: f64) -> Path {
         let leg = PathLeg { edge, from, to };
         Path {
             cum: vec![0.0],

@@ -8,8 +8,10 @@
 //! generator.
 
 use crate::{EdgeId, GraphPos, NodeId, Path, WalkingGraph};
+use parking_lot::RwLock;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Max-heap entry ordered so the smallest distance pops first.
 #[derive(PartialEq)]
@@ -146,8 +148,7 @@ impl ShortestPaths {
             }
         }
         if !around.is_finite() {
-            return direct
-                .map(|_| Path::single_leg(graph, to.edge, self.source.offset, to.offset));
+            return direct.map(|_| Path::single_leg(graph, to.edge, self.source.offset, to.offset));
         }
 
         // Walk back from the better entry node of the target edge.
@@ -177,6 +178,61 @@ impl ShortestPaths {
         }
         legs_rev.reverse();
         Some(Path::from_legs(graph, self.source, to, legs_rev))
+    }
+}
+
+/// A source position as a hashable key: the edge plus the *bit pattern*
+/// of the offset, so two sources compare equal exactly when Dijkstra
+/// would produce identical results.
+type SourceKey = (EdgeId, u64);
+
+/// A concurrent memoization cache for [`ShortestPaths`].
+///
+/// Query evaluation and candidate pruning re-run Dijkstra from the same
+/// fixed query points on every evaluation pass; this cache computes each
+/// source once and hands out shared [`Arc`]s. All methods take `&self`
+/// (reader-writer lock inside), so preprocessing/pruning threads can
+/// share one instance. The cached result is the plain
+/// [`ShortestPaths::from_pos`] output, so cached and fresh lookups are
+/// bit-identical.
+#[derive(Debug, Default)]
+pub struct ShortestPathCache {
+    entries: RwLock<HashMap<SourceKey, Arc<ShortestPaths>>>,
+}
+
+impl ShortestPathCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shortest-path tree from `from`, computed on first use.
+    pub fn paths(&self, graph: &WalkingGraph, from: GraphPos) -> Arc<ShortestPaths> {
+        let key: SourceKey = (from.edge, from.offset.to_bits());
+        if let Some(sp) = self.entries.read().get(&key) {
+            return Arc::clone(sp);
+        }
+        // Compute outside the write lock; racing computations of the same
+        // source produce identical trees, and the entry API keeps the
+        // first one inserted.
+        let sp = Arc::new(ShortestPaths::from_pos(graph, from));
+        let mut entries = self.entries.write();
+        Arc::clone(entries.entry(key).or_insert(sp))
+    }
+
+    /// Number of distinct memoized sources.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// `true` when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Drops all memoized trees (e.g. after the graph changes).
+    pub fn clear(&self) {
+        self.entries.write().clear();
     }
 }
 
@@ -269,9 +325,7 @@ mod tests {
                 path.length()
             );
             // Path starts and ends at the right points.
-            assert!(g
-                .point_of(path.start())
-                .approx_eq(g.point_of(from)));
+            assert!(g.point_of(path.start()).approx_eq(g.point_of(from)));
             assert!(g.point_of(path.end()).approx_eq(g.point_of(to)));
         }
     }
@@ -328,6 +382,44 @@ mod tests {
         // path_to to the source itself is empty but Some.
         let p = sp.path_to(&g, from).unwrap();
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn cache_memoizes_and_matches_fresh_dijkstra() {
+        let (plan, g) = office();
+        let cache = ShortestPathCache::new();
+        let from = g.project(plan.rooms()[3].center());
+        let to = g.project(plan.rooms()[21].center());
+        assert!(cache.is_empty());
+        let first = cache.paths(&g, from);
+        let second = cache.paths(&g, from);
+        assert!(Arc::ptr_eq(&first, &second), "second lookup is memoized");
+        assert_eq!(cache.len(), 1);
+        let fresh = ShortestPaths::from_pos(&g, from);
+        assert_eq!(first.distance_to(&g, to), fresh.distance_to(&g, to));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let (plan, g) = office();
+        let cache = ShortestPathCache::new();
+        let sources: Vec<GraphPos> = (0..8)
+            .map(|i| g.project(plan.rooms()[i * 3].center()))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (cache, g, sources) = (&cache, &g, &sources);
+                scope.spawn(move || {
+                    for &s in sources {
+                        let sp = cache.paths(g, s);
+                        assert!(sp.node_distance(g.nodes()[0].id).is_finite());
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= sources.len());
     }
 
     #[test]

@@ -11,10 +11,22 @@
 //! particles of oᵢ from the cache every time oᵢ is detected by a new
 //! device" — implemented by keying each entry with the identity of the
 //! detection episode it was filtered under.
+//!
+//! Two front ends share one implementation:
+//!
+//! * [`SharedParticleCache`] — sharded, internally synchronized (`&self`
+//!   throughout), usable concurrently from the parallel preprocessing
+//!   workers. Each object maps to exactly one shard, and the hit/miss/
+//!   invalidation counters are atomics, so the statistics are the same
+//!   whatever order objects are processed in.
+//! * [`ParticleCache`] — the original single-threaded `&mut self` API,
+//!   now a thin veneer over a [`SharedParticleCache`].
 
 use crate::IndoorState;
+use parking_lot::Mutex;
 use ripq_rfid::{ObjectId, ReaderId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An episode identity: the most recent detecting reader plus the second
 /// its episode began. A new episode (new device, or the same device after
@@ -52,17 +64,146 @@ impl CacheStats {
     }
 }
 
-/// Particle-state cache, one entry per object.
+/// Number of independently locked shards. Objects hash to shards by id, so
+/// concurrent workers mostly touch different locks.
+const SHARDS: usize = 16;
+
+/// A concurrently usable particle-state cache, one entry per object.
+///
+/// All methods take `&self`: the entry map is split into [`SHARDS`]
+/// mutex-protected shards and the statistics are atomic counters. Because
+/// every lookup/store touches only the shard of its own object, and the
+/// counters commute, the observable state after preprocessing a candidate
+/// set is independent of the order (or thread) the objects were processed
+/// on.
+#[derive(Debug)]
+pub struct SharedParticleCache {
+    shards: Vec<Mutex<HashMap<ObjectId, CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for SharedParticleCache {
+    fn default() -> Self {
+        SharedParticleCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SharedParticleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, object: ObjectId) -> &Mutex<HashMap<ObjectId, CacheEntry>> {
+        &self.shards[object.raw() as usize % SHARDS]
+    }
+
+    /// Looks up reusable particles for `object`, valid only if they were
+    /// filtered under the same detection episode `current_episode`.
+    /// Returns the cached states and their timestamp on a hit.
+    pub fn lookup(
+        &self,
+        object: ObjectId,
+        current_episode: EpisodeKey,
+    ) -> Option<(Vec<IndoorState>, u64)> {
+        let mut shard = self.shard(object).lock();
+        match shard.get(&object) {
+            Some(e) if e.episode == current_episode => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((e.particles.clone(), e.timestamp))
+            }
+            Some(_) => {
+                // Detected by a new device since this entry was stored:
+                // discard it, per §4.5.
+                shard.remove(&object);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores the post-filtering particle states of `object` at simulated
+    /// second `timestamp`, tagged with the episode they were filtered
+    /// under.
+    pub fn store(
+        &self,
+        object: ObjectId,
+        particles: Vec<IndoorState>,
+        timestamp: u64,
+        episode: EpisodeKey,
+    ) {
+        self.shard(object).lock().insert(
+            object,
+            CacheEntry {
+                particles,
+                timestamp,
+                episode,
+            },
+        );
+    }
+
+    /// Drops an object's entry.
+    pub fn invalidate(&self, object: ObjectId) {
+        if self.shard(object).lock().remove(&object).is_some() {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clears all entries (keeps statistics).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+}
+
+/// Particle-state cache, one entry per object — the single-owner API.
 #[derive(Debug, Default)]
 pub struct ParticleCache {
-    entries: HashMap<ObjectId, CacheEntry>,
-    stats: CacheStats,
+    inner: SharedParticleCache,
 }
 
 impl ParticleCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The internally synchronized cache backing this one, for handing to
+    /// the parallel preprocessing path.
+    pub fn shared(&self) -> &SharedParticleCache {
+        &self.inner
     }
 
     /// Looks up reusable particles for `object`, valid only if they were
@@ -73,24 +214,7 @@ impl ParticleCache {
         object: ObjectId,
         current_episode: EpisodeKey,
     ) -> Option<(Vec<IndoorState>, u64)> {
-        match self.entries.get(&object) {
-            Some(e) if e.episode == current_episode => {
-                self.stats.hits += 1;
-                Some((e.particles.clone(), e.timestamp))
-            }
-            Some(_) => {
-                // Detected by a new device since this entry was stored:
-                // discard it, per §4.5.
-                self.entries.remove(&object);
-                self.stats.misses += 1;
-                self.stats.invalidations += 1;
-                None
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-        }
+        self.inner.lookup(object, current_episode)
     }
 
     /// Stores the post-filtering particle states of `object` at simulated
@@ -103,41 +227,32 @@ impl ParticleCache {
         timestamp: u64,
         episode: EpisodeKey,
     ) {
-        self.entries.insert(
-            object,
-            CacheEntry {
-                particles,
-                timestamp,
-                episode,
-            },
-        );
+        self.inner.store(object, particles, timestamp, episode);
     }
 
     /// Drops an object's entry.
     pub fn invalidate(&mut self, object: ObjectId) {
-        if self.entries.remove(&object).is_some() {
-            self.stats.invalidations += 1;
-        }
+        self.inner.invalidate(object);
     }
 
     /// Number of cached objects.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.inner.len()
     }
 
     /// `true` when no entries are cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.inner.is_empty()
     }
 
     /// Hit/miss counters.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.inner.stats()
     }
 
     /// Clears all entries (keeps statistics).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.inner.clear();
     }
 }
 
@@ -221,5 +336,43 @@ mod tests {
         assert_eq!(states.len(), 2);
         assert_eq!(t, 7);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_is_usable_from_many_threads() {
+        let c = SharedParticleCache::new();
+        std::thread::scope(|scope| {
+            for w in 0..4u32 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..50u32 {
+                        let o = ObjectId::new(w * 50 + i);
+                        c.store(o, vec![particle(f64::from(i))], 10, EP1);
+                        assert!(c.lookup(o, EP1).is_some());
+                        assert!(c.lookup(o, EP2).is_none());
+                    }
+                });
+            }
+        });
+        // Each worker: 50 hits, then 50 invalidating misses.
+        let s = c.stats();
+        assert_eq!(s.hits, 200);
+        assert_eq!(s.misses, 200);
+        assert_eq!(s.invalidations, 200);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn veneer_and_shared_views_agree() {
+        let mut c = ParticleCache::new();
+        c.store(O, vec![particle(2.0)], 8, EP1);
+        assert_eq!(c.shared().len(), 1);
+        assert!(c.shared().lookup(O, EP1).is_some());
+        // The shared view's traffic is visible through the veneer.
+        assert_eq!(c.stats().hits, 1);
+        c.clear();
+        assert!(c.shared().is_empty());
+        assert_eq!(c.stats().hits, 1, "clear keeps statistics");
     }
 }

@@ -56,10 +56,12 @@ mod state;
 mod trajectory;
 
 pub use adaptive::KldConfig;
-pub use cache::{CacheStats, ParticleCache};
+pub use cache::{CacheStats, EpisodeKey, ParticleCache, SharedParticleCache};
 pub use measurement::MeasurementModel;
 pub use motion::MotionModel;
-pub use preprocess::{ParticlePreprocessor, PreprocessOutcome, PreprocessorConfig};
+pub use preprocess::{
+    derive_stream_seed, ParticlePreprocessor, PreprocessOutcome, PreprocessorConfig,
+};
 pub use seed::{seed_intervals, seed_particles};
 pub use sir::{resample_indices, resample_indices_n, ParticleFilter};
 pub use state::{Heading, IndoorState};

@@ -6,7 +6,7 @@
 //! moves out with probability 0.1.
 
 use crate::{Heading, IndoorState};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rand_distr::{Distribution, Normal};
 use ripq_graph::{GraphPos, NodeKind, WalkingGraph};
 use serde::{Deserialize, Serialize};
@@ -57,8 +57,7 @@ impl MotionModel {
     /// Draws a particle speed from N(μ, σ²), truncated to a sane positive
     /// range (a non-positive walking speed is re-drawn).
     pub fn sample_speed<R: Rng>(&self, rng: &mut R) -> f64 {
-        let normal = Normal::new(self.speed_mean, self.speed_std)
-            .expect("finite speed parameters");
+        let normal = Normal::new(self.speed_mean, self.speed_std).expect("finite speed parameters");
         for _ in 0..16 {
             let v = normal.sample(rng);
             if v > 0.05 {
@@ -337,7 +336,11 @@ mod tests {
         } else {
             Heading::TowardB
         };
-        let start_offset = if end_offset == 0.0 { 0.5 } else { e.length() - 0.5 };
+        let start_offset = if end_offset == 0.0 {
+            0.5
+        } else {
+            e.length() - 0.5
+        };
         let mut s = IndoorState {
             pos: GraphPos::new(eid, start_offset),
             heading,

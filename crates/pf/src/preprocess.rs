@@ -7,15 +7,48 @@
 //! at every observation, coast for at most 60 s beyond the last reading,
 //! and are finally snapped to anchor points to populate the `APtoObjHT`
 //! hash table (§4.4).
+//!
+//! # Parallel preprocessing
+//!
+//! Objects are independent once the shared world state (graph, anchors,
+//! readers, cache) is read-only or internally synchronized, so
+//! [`ParticlePreprocessor::process_streamed`] can fan candidates out over
+//! worker threads. To keep the output *bit-identical* regardless of the
+//! worker count, each object draws from its own RNG stream, derived
+//! deterministically from `(pass_seed, object id, resume timestamp)` by
+//! [`derive_stream_seed`] — no draw ever depends on which objects were
+//! processed before it, or on which thread it ran.
 
+use crate::cache::EpisodeKey;
 use crate::{
     seed_particles, IndoorState, KldConfig, MeasurementModel, MotionModel, ParticleCache,
-    ParticleFilter,
+    ParticleFilter, SharedParticleCache,
 };
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use ripq_graph::{AnchorId, AnchorObjectIndex, AnchorSet, WalkingGraph};
 use ripq_rfid::{ObjectId, Reader, ReaderId, ReadingStore};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Derives the seed of one object's private RNG stream for one
+/// preprocessing pass.
+///
+/// The three inputs are folded into a SplitMix64 chain one at a time:
+/// `pass_seed` separates evaluation passes, the object id separates
+/// objects within a pass, and the resume timestamp separates a fresh
+/// filter run from a cache-resumed one (which starts at a different
+/// second and must not replay the same deviates). The result is
+/// independent of processing order, which is what makes the parallel
+/// fan-out bit-identical to the sequential loop.
+pub fn derive_stream_seed(pass_seed: u64, object: ObjectId, resume_timestamp: u64) -> u64 {
+    let mut state = pass_seed;
+    let mut out = rand::split_mix64(&mut state);
+    state ^= u64::from(object.raw()).rotate_left(32);
+    out ^= rand::split_mix64(&mut state);
+    state ^= resume_timestamp;
+    out ^ rand::split_mix64(&mut state)
+}
 
 /// Tuning parameters of Algorithm 2.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -85,6 +118,28 @@ pub struct PreprocessOutcome {
     pub seconds_simulated: u64,
 }
 
+/// Everything [`ParticlePreprocessor::filter_object`] needs that was
+/// decided *before* any random draw: the episode identity, the simulation
+/// window, and the (already consumed) cache-lookup result. Splitting this
+/// out lets the streamed path derive the per-object RNG from the resume
+/// timestamp before the filter body runs.
+struct ObjectPlan {
+    episode_key: EpisodeKey,
+    /// `tmin = min(td + coast, now)` — Algorithm 2 line 6.
+    tmin: u64,
+    /// Second-most-recent detecting device (`dᵢ`), the fresh-seed source.
+    seed_device: ReaderId,
+    /// First retained second of the aggregated readings.
+    agg_start: u64,
+    /// The cache-lookup result (the lookup itself already happened and
+    /// counted toward the statistics).
+    cached: Option<(Vec<IndoorState>, u64)>,
+    /// The second this pass's filtering effectively starts from: the
+    /// cached timestamp on a hit, the aggregation start on a miss. Feeds
+    /// [`derive_stream_seed`].
+    resume_timestamp: u64,
+}
+
 /// Algorithm 2 runner, borrowing the static world description.
 pub struct ParticlePreprocessor<'a> {
     graph: &'a WalkingGraph,
@@ -102,10 +157,7 @@ impl<'a> ParticlePreprocessor<'a> {
         readers: &'a [Reader],
         config: PreprocessorConfig,
     ) -> Self {
-        debug_assert!(readers
-            .iter()
-            .enumerate()
-            .all(|(i, r)| r.id().index() == i));
+        debug_assert!(readers.iter().enumerate().all(|(i, r)| r.id().index() == i));
         ParticlePreprocessor {
             graph,
             anchors,
@@ -123,16 +175,16 @@ impl<'a> ParticlePreprocessor<'a> {
         &self.readers[id.index()]
     }
 
-    /// Runs Algorithm 2 for one object. Returns `None` when the collector
-    /// has never seen the object (no readings → no inference possible).
-    pub fn process_object<R: Rng, S: ReadingStore + ?Sized>(
+    /// Lines 1–6 of Algorithm 2 plus the cache lookup (§4.5): everything
+    /// that happens before the first random draw. `None` when the
+    /// collector has never seen the object.
+    fn plan_object<S: ReadingStore + ?Sized>(
         &self,
-        rng: &mut R,
         collector: &S,
         object: ObjectId,
         now: u64,
-        mut cache: Option<&mut ParticleCache>,
-    ) -> Option<PreprocessOutcome> {
+        cache: Option<&SharedParticleCache>,
+    ) -> Option<ObjectPlan> {
         let agg = collector.aggregated(object)?;
         let (_, td) = collector.last_detection(object)?;
         let (di, _) = collector.last_two_devices(object)?;
@@ -141,21 +193,47 @@ impl<'a> ParticlePreprocessor<'a> {
 
         // `tmin = min(td + 60, tcurrent)` — line 6.
         let tmin = (td + self.config.coast_seconds).min(now);
+        let agg_start = agg.start_second;
 
-        // Cache lookup (§4.5): resume from the stored timestamp when the
-        // most recent episode is unchanged.
-        let (mut filter, start, resumed) = match cache
-            .as_mut()
-            .and_then(|c| c.lookup(object, episode_key))
-        {
-            Some((states, t)) if t <= tmin => {
+        let cached = cache.and_then(|c| c.lookup(object, episode_key));
+        let resume_timestamp = match &cached {
+            Some((_, t)) => *t,
+            None => agg_start,
+        };
+        Some(ObjectPlan {
+            episode_key,
+            tmin,
+            seed_device: di,
+            agg_start,
+            cached,
+            resume_timestamp,
+        })
+    }
+
+    /// Lines 7–36 of Algorithm 2: seed or resume the filter, replay the
+    /// aggregated readings up to `tmin`, store back into the cache, snap
+    /// to anchors. All random draws of the pass happen here, in a fixed
+    /// order independent of other objects.
+    fn filter_object<R: Rng, S: ReadingStore + ?Sized>(
+        &self,
+        rng: &mut R,
+        collector: &S,
+        object: ObjectId,
+        plan: ObjectPlan,
+        cache: Option<&SharedParticleCache>,
+    ) -> PreprocessOutcome {
+        let agg = collector
+            .aggregated(object)
+            .expect("plan_object verified the object is known");
+
+        let (mut filter, start, resumed) = match plan.cached {
+            Some((states, t)) if t <= plan.tmin => {
                 (ParticleFilter::from_states(states), t + 1, true)
             }
             Some((states, t)) => {
                 // Cached states are already at/after tmin: reuse directly.
                 let filter = ParticleFilter::from_states(states);
-                let out = self.finish(filter, t, true, 0);
-                return Some(out);
+                return self.finish(filter, t, true, 0);
             }
             None => {
                 // Fresh start: seed within the second-most-recent device's
@@ -163,17 +241,21 @@ impl<'a> ParticlePreprocessor<'a> {
                 let seeds = seed_particles(
                     rng,
                     self.graph,
-                    self.reader(di),
+                    self.reader(plan.seed_device),
                     &self.config.motion,
                     self.config.num_particles,
                 );
-                (ParticleFilter::from_states(seeds), agg.start_second + 1, false)
+                (
+                    ParticleFilter::from_states(seeds),
+                    plan.agg_start + 1,
+                    false,
+                )
             }
         };
 
         // Main loop — lines 7..31.
         let mut simulated = 0u64;
-        for tj in start..=tmin {
+        for tj in start..=plan.tmin {
             filter.predict(|s| self.config.motion.step(rng, self.graph, s, 1.0));
             simulated += 1;
             // Line 17: the aggregated reading entry of tj (None both when
@@ -187,8 +269,7 @@ impl<'a> ParticlePreprocessor<'a> {
                     .iter()
                     .any(|s| reader.covers(self.graph.point_of(s.pos)));
                 if any_consistent {
-                    filter
-                        .reweight(|s| self.config.measurement.likelihood(self.graph, s, reader));
+                    filter.reweight(|s| self.config.measurement.likelihood(self.graph, s, reader));
                     filter.normalize();
                     if filter.effective_sample_size()
                         < filter.len() as f64 * self.config.resample_threshold
@@ -202,8 +283,7 @@ impl<'a> ParticlePreprocessor<'a> {
                     // inside the detecting range instead. Standard
                     // kidnapped-robot recovery for low particle counts.
                     let n = filter.len();
-                    let seeds =
-                        seed_particles(rng, self.graph, reader, &self.config.motion, n);
+                    let seeds = seed_particles(rng, self.graph, reader, &self.config.motion, n);
                     filter = ParticleFilter::from_states(seeds);
                 }
             } else if self.config.negative_evidence {
@@ -234,11 +314,62 @@ impl<'a> ParticlePreprocessor<'a> {
             }
         }
 
-        let timestamp = tmin.max(start.saturating_sub(1));
-        if let Some(c) = cache.as_mut() {
-            c.store(object, filter.states().to_vec(), timestamp, episode_key);
+        let timestamp = plan.tmin.max(start.saturating_sub(1));
+        if let Some(c) = cache {
+            c.store(
+                object,
+                filter.states().to_vec(),
+                timestamp,
+                plan.episode_key,
+            );
         }
-        Some(self.finish(filter, timestamp, resumed, simulated))
+        self.finish(filter, timestamp, resumed, simulated)
+    }
+
+    /// Runs Algorithm 2 for one object. Returns `None` when the collector
+    /// has never seen the object (no readings → no inference possible).
+    pub fn process_object<R: Rng, S: ReadingStore + ?Sized>(
+        &self,
+        rng: &mut R,
+        collector: &S,
+        object: ObjectId,
+        now: u64,
+        cache: Option<&mut ParticleCache>,
+    ) -> Option<PreprocessOutcome> {
+        let shared = cache.map(|c| c.shared());
+        self.process_object_shared(rng, collector, object, now, shared)
+    }
+
+    /// [`ParticlePreprocessor::process_object`] against the internally
+    /// synchronized cache, with a caller-supplied RNG.
+    pub fn process_object_shared<R: Rng, S: ReadingStore + ?Sized>(
+        &self,
+        rng: &mut R,
+        collector: &S,
+        object: ObjectId,
+        now: u64,
+        cache: Option<&SharedParticleCache>,
+    ) -> Option<PreprocessOutcome> {
+        let plan = self.plan_object(collector, object, now, cache)?;
+        Some(self.filter_object(rng, collector, object, plan, cache))
+    }
+
+    /// Runs Algorithm 2 for one object on its own deterministic RNG
+    /// stream, derived from `(pass_seed, object, resume timestamp)` — see
+    /// [`derive_stream_seed`]. The result does not depend on what other
+    /// objects were processed in the same pass.
+    pub fn process_object_streamed<S: ReadingStore + ?Sized>(
+        &self,
+        pass_seed: u64,
+        collector: &S,
+        object: ObjectId,
+        now: u64,
+        cache: Option<&SharedParticleCache>,
+    ) -> Option<PreprocessOutcome> {
+        let plan = self.plan_object(collector, object, now, cache)?;
+        let mut rng =
+            StdRng::seed_from_u64(derive_stream_seed(pass_seed, object, plan.resume_timestamp));
+        Some(self.filter_object(&mut rng, collector, object, plan, cache))
     }
 
     /// Resamples, adapting the output size per KLD-sampling when enabled.
@@ -263,12 +394,10 @@ impl<'a> ParticlePreprocessor<'a> {
         // p(o at ap) = n/Ns.
         let n = filter.len() as f64;
         let particles = filter.into_states();
-        let distribution = self
-            .anchors
-            .kde_distribution(
-                particles.iter().map(|s| (s.pos, 1.0 / n)),
-                self.config.kde_bandwidth,
-            );
+        let distribution = self.anchors.kde_distribution(
+            particles.iter().map(|s| (s.pos, 1.0 / n)),
+            self.config.kde_bandwidth,
+        );
         PreprocessOutcome {
             distribution,
             particles,
@@ -280,6 +409,12 @@ impl<'a> ParticlePreprocessor<'a> {
 
     /// Runs Algorithm 2 for every candidate and assembles the `APtoObjHT`
     /// index consumed by query evaluation.
+    ///
+    /// Sequential, single-RNG-stream variant: every object consumes draws
+    /// from the shared `rng`, so results depend on the candidate order.
+    /// Kept for callers that thread one generator through everything; the
+    /// facade and experiment harness use
+    /// [`ParticlePreprocessor::process_streamed`].
     pub fn process<R: Rng, S: ReadingStore + ?Sized>(
         &self,
         rng: &mut R,
@@ -290,11 +425,84 @@ impl<'a> ParticlePreprocessor<'a> {
     ) -> AnchorObjectIndex<ObjectId> {
         let mut index = AnchorObjectIndex::new();
         for &o in candidates {
-            if let Some(outcome) =
-                self.process_object(rng, collector, o, now, cache.as_deref_mut())
+            if let Some(outcome) = self.process_object(rng, collector, o, now, cache.as_deref_mut())
             {
                 index.set_object(o, outcome.distribution);
             }
+        }
+        index
+    }
+
+    /// Runs Algorithm 2 for every candidate on per-object RNG streams and
+    /// assembles the `APtoObjHT` index, optionally fanning the candidates
+    /// out over `parallelism` worker threads.
+    ///
+    /// `parallelism` of `None` (or `Some(0|1)`) runs on the calling
+    /// thread. Any worker count produces bit-identical output: each
+    /// object's draws come from its own stream (see
+    /// [`derive_stream_seed`]), the shared cache is sharded per object
+    /// with commutative statistics, and results are merged back in
+    /// candidate order.
+    pub fn process_streamed<S: ReadingStore + Sync + ?Sized>(
+        &self,
+        pass_seed: u64,
+        collector: &S,
+        candidates: &[ObjectId],
+        now: u64,
+        cache: Option<&SharedParticleCache>,
+        parallelism: Option<usize>,
+    ) -> AnchorObjectIndex<ObjectId> {
+        /// One filtered candidate: its position in the candidate list (the
+        /// merge key), the object, and its snapped distribution.
+        type Filtered = (usize, ObjectId, Vec<(AnchorId, f64)>);
+
+        let workers = parallelism.unwrap_or(1).clamp(1, candidates.len().max(1));
+
+        let mut results: Vec<Filtered> = if workers <= 1 {
+            candidates
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &o)| {
+                    self.process_object_streamed(pass_seed, collector, o, now, cache)
+                        .map(|out| (i, o, out.distribution))
+                })
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let locals: Vec<Vec<Filtered>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= candidates.len() {
+                                    break;
+                                }
+                                let o = candidates[i];
+                                if let Some(out) = self
+                                    .process_object_streamed(pass_seed, collector, o, now, cache)
+                                {
+                                    local.push((i, o, out.distribution));
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("preprocessing worker panicked"))
+                    .collect()
+            });
+            let mut merged: Vec<_> = locals.into_iter().flatten().collect();
+            merged.sort_unstable_by_key(|&(i, _, _)| i);
+            merged
+        };
+
+        let mut index = AnchorObjectIndex::new();
+        for (_, o, distribution) in results.drain(..) {
+            index.set_object(o, distribution);
         }
         index
     }
@@ -511,6 +719,9 @@ mod tests {
         assert!(pre
             .process_object(&mut rng, &c, ObjectId::new(42), 10, None)
             .is_none());
+        assert!(pre
+            .process_object_streamed(7, &c, ObjectId::new(42), 10, None)
+            .is_none());
     }
 
     #[test]
@@ -603,5 +814,72 @@ mod tests {
             .process_object(&mut StdRng::seed_from_u64(42), &c, O, now, None)
             .unwrap();
         assert_eq!(out1.distribution, out2.distribution);
+    }
+
+    #[test]
+    fn stream_seeds_separate_objects_passes_and_resume_points() {
+        let o1 = ObjectId::new(1);
+        let o2 = ObjectId::new(2);
+        assert_eq!(derive_stream_seed(5, o1, 10), derive_stream_seed(5, o1, 10));
+        assert_ne!(derive_stream_seed(5, o1, 10), derive_stream_seed(5, o2, 10));
+        assert_ne!(derive_stream_seed(5, o1, 10), derive_stream_seed(6, o1, 10));
+        assert_ne!(derive_stream_seed(5, o1, 10), derive_stream_seed(5, o1, 11));
+    }
+
+    #[test]
+    fn streamed_result_is_independent_of_candidate_order() {
+        let w = world();
+        let mut c = DataCollector::new();
+        let o2 = ObjectId::new(7);
+        for s in 0..4u64 {
+            c.ingest_second(s, &[(O, w.readers[0].id()), (o2, w.readers[5].id())]);
+        }
+        let pre = ParticlePreprocessor::new(
+            &w.graph,
+            &w.anchors,
+            &w.readers,
+            PreprocessorConfig::default(),
+        );
+        let fwd = pre.process_streamed(99, &c, &[O, o2], 6, None, None);
+        let rev = pre.process_streamed(99, &c, &[o2, O], 6, None, None);
+        assert_eq!(fwd.distribution(&O), rev.distribution(&O));
+        assert_eq!(fwd.distribution(&o2), rev.distribution(&o2));
+    }
+
+    #[test]
+    fn parallel_process_matches_sequential_bit_for_bit() {
+        let w = world();
+        let mut c = DataCollector::new();
+        let objects: Vec<ObjectId> = (0..12u32).map(ObjectId::new).collect();
+        for s in 0..6u64 {
+            let det: Vec<_> = objects
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| (o, w.readers[i % w.readers.len()].id()))
+                .collect();
+            c.ingest_second(s, &det);
+        }
+        let pre = ParticlePreprocessor::new(
+            &w.graph,
+            &w.anchors,
+            &w.readers,
+            PreprocessorConfig::default(),
+        );
+        let seq_cache = SharedParticleCache::new();
+        let sequential = pre.process_streamed(1234, &c, &objects, 8, Some(&seq_cache), None);
+        for workers in [1usize, 2, 4] {
+            let par_cache = SharedParticleCache::new();
+            let parallel =
+                pre.process_streamed(1234, &c, &objects, 8, Some(&par_cache), Some(workers));
+            for o in &objects {
+                assert_eq!(
+                    sequential.distribution(o),
+                    parallel.distribution(o),
+                    "distribution of {o} differs at {workers} workers"
+                );
+            }
+            assert_eq!(seq_cache.stats(), par_cache.stats());
+            assert_eq!(seq_cache.len(), par_cache.len());
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! dᵢ, and each particle picks its own moving direction and speed."
 
 use crate::{Heading, IndoorState, MotionModel};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ripq_geom::Segment;
 use ripq_graph::{EdgeId, GraphPos, WalkingGraph};
 use ripq_rfid::Reader;
@@ -123,10 +123,7 @@ mod tests {
         assert_eq!(particles.len(), 256);
         for p in &particles {
             let pt = g.point_of(p.pos);
-            assert!(
-                readers[3].position().distance(pt)
-                    <= readers[3].activation_range() + 1e-6
-            );
+            assert!(readers[3].position().distance(pt) <= readers[3].activation_range() + 1e-6);
             assert!(p.speed > 0.0);
         }
     }
@@ -141,7 +138,10 @@ mod tests {
             .iter()
             .filter(|p| p.heading == Heading::TowardA)
             .count();
-        assert!(toward_a > 50 && toward_a < 150, "headings unbalanced: {toward_a}");
+        assert!(
+            toward_a > 50 && toward_a < 150,
+            "headings unbalanced: {toward_a}"
+        );
     }
 
     #[test]
@@ -174,7 +174,9 @@ mod tests {
         for &(e, lo, hi) in &ivals {
             let count = particles
                 .iter()
-                .filter(|p| p.pos.edge == e && p.pos.offset >= lo - 1e-9 && p.pos.offset <= hi + 1e-9)
+                .filter(|p| {
+                    p.pos.edge == e && p.pos.offset >= lo - 1e-9 && p.pos.offset <= hi + 1e-9
+                })
                 .count();
             let expected = (hi - lo) / total * n as f64;
             assert!(

@@ -7,7 +7,7 @@
 //! (Equation 4), and the set is resampled (Algorithm 1) to fight weight
 //! degeneration.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Systematic resampling — **Algorithm 1** of the paper.
 ///
@@ -231,7 +231,10 @@ mod tests {
     fn systematic_resampling_proportionality() {
         let mut rng = StdRng::seed_from_u64(2);
         // Weights 0.5, 0.3, 0.2 over 10 slots → counts 5, 3, 2.
-        let idx = resample_indices(&mut rng, &[0.5, 0.3, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let idx = resample_indices(
+            &mut rng,
+            &[0.5, 0.3, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        );
         let count = |v: usize| idx.iter().filter(|&&i| i == v).count();
         assert_eq!(idx.len(), 10);
         assert_eq!(count(0), 5);

@@ -106,14 +106,7 @@ pub fn reconstruct_trajectory<R: Rng>(
     ));
 
     let mut out = Vec::with_capacity((end - first_second + 1) as usize);
-    push_sample(
-        &mut out,
-        graph,
-        anchors,
-        &filter,
-        first_second,
-        true,
-    );
+    push_sample(&mut out, graph, anchors, &filter, first_second, true);
 
     for second in first_second + 1..=end {
         filter.predict(|s| config.motion.step(rng, graph, s, 1.0));

@@ -318,9 +318,7 @@ impl DataCollector {
 
     /// Recent ENTER/LEAVE events of an object (bounded, oldest first).
     pub fn events(&self, o: ObjectId) -> &[RfidEvent] {
-        self.objects
-            .get(&o)
-            .map_or(&[], |st| st.events.as_slice())
+        self.objects.get(&o).map_or(&[], |st| st.events.as_slice())
     }
 
     /// Drops an object's state entirely (e.g. when it exits the building).

@@ -54,7 +54,10 @@ pub fn deploy_at_doors(
     let mut candidates: Vec<ripq_geom::Point2> = plan
         .doors()
         .iter()
-        .map(|d| plan.hallway(d.hallway()).project_to_centerline(d.position()))
+        .map(|d| {
+            plan.hallway(d.hallway())
+                .project_to_centerline(d.position())
+        })
         .collect();
     // Facing rooms share a portal: deduplicate positions.
     candidates.sort_by(|a, b| {
@@ -357,9 +360,7 @@ mod tests {
             assert_eq!(x.position(), y.position(), "same seed, same layout");
         }
         assert!(
-            a.iter()
-                .zip(&c)
-                .any(|(x, y)| x.position() != y.position()),
+            a.iter().zip(&c).any(|(x, y)| x.position() != y.position()),
             "different seeds differ"
         );
         // Positions on centerlines.

@@ -197,7 +197,8 @@ impl ReadingStore for HistoryView<'_> {
 
     fn last_episode(&self, o: ObjectId) -> Option<(ReaderId, u64, u64)> {
         let (_, eps) = self.episodes_at(o)?;
-        eps.last().map(|e| (e.reader, e.first_second, e.last_second))
+        eps.last()
+            .map(|e| (e.reader, e.first_second, e.last_second))
     }
 
     fn object_ids(&self) -> Vec<ObjectId> {
@@ -252,10 +253,7 @@ mod tests {
         let hv = ReadingStore::aggregated(&v, O).unwrap();
         assert_eq!(hv.start_second, dv.start_second);
         assert_eq!(hv.entries, dv.entries);
-        assert_eq!(
-            ReadingStore::last_two_devices(&v, O),
-            d.last_two_devices(O)
-        );
+        assert_eq!(ReadingStore::last_two_devices(&v, O), d.last_two_devices(O));
         assert_eq!(ReadingStore::last_detection(&v, O), d.last_detection(O));
         assert_eq!(ReadingStore::last_episode(&v, O), d.last_episode(O));
     }
@@ -272,10 +270,7 @@ mod tests {
         let (h, _) = feed_both(&plan);
         // As of t=3, D3 has not happened: last two devices are D1, D2.
         let v = h.view_at(3);
-        assert_eq!(
-            ReadingStore::last_two_devices(&v, O),
-            Some((D1, Some(D2)))
-        );
+        assert_eq!(ReadingStore::last_two_devices(&v, O), Some((D1, Some(D2))));
         assert_eq!(ReadingStore::last_detection(&v, O), Some((D2, 2)));
         let agg = ReadingStore::aggregated(&v, O).unwrap();
         assert_eq!(agg.start_second, 0);

@@ -32,7 +32,9 @@ mod sensing;
 mod store;
 
 pub use collector::{AggregatedReadings, DataCollector, EventKind, RfidEvent};
-pub use deployment::{deploy, deploy_at_doors, deploy_random, deploy_uniform, ranges_disjoint, DeploymentStrategy};
+pub use deployment::{
+    deploy, deploy_at_doors, deploy_random, deploy_uniform, ranges_disjoint, DeploymentStrategy,
+};
 pub use history::{HistoryCollector, HistoryView};
 pub use object::ObjectId;
 pub use reader::{Reader, ReaderId};

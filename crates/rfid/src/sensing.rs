@@ -1,7 +1,7 @@
 //! The device sensing model: noisy detection of tags by readers.
 
 use crate::{ObjectId, RawReading, Reader, ReaderId};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ripq_geom::Point2;
 use serde::{Deserialize, Serialize};
 
@@ -60,8 +60,7 @@ impl SensingModel {
             for s in 0..self.samples_per_second {
                 if rng.random::<f64>() < self.detection_probability {
                     out.push(RawReading {
-                        time: second as f64
-                            + (s as f64 + 0.5) / self.samples_per_second as f64,
+                        time: second as f64 + (s as f64 + 0.5) / self.samples_per_second as f64,
                         object,
                         reader: reader.id(),
                     });
@@ -139,8 +138,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let readers = vec![reader_at(0, 10.0, 2.0)];
         for _ in 0..100 {
-            let got =
-                model.detect_second(&mut rng, Point2::new(50.0, 10.0), &readers);
+            let got = model.detect_second(&mut rng, Point2::new(50.0, 10.0), &readers);
             assert_eq!(got, None);
         }
     }
@@ -259,8 +257,7 @@ mod tests {
         let readers = vec![reader_at(0, 10.0, 5.0), reader_at(1, 12.0, 5.0)];
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
-            if let Some(id) = model.detect_second(&mut rng, Point2::new(11.0, 10.0), &readers)
-            {
+            if let Some(id) = model.detect_second(&mut rng, Point2::new(11.0, 10.0), &readers) {
                 seen.insert(id);
             }
         }

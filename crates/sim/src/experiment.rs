@@ -148,8 +148,7 @@ impl Experiment {
                         rng.random_range(bounds.min().x..=bounds.max().x),
                         rng.random_range(bounds.min().y..=bounds.max().y),
                     );
-                    if !matches!(self.world.plan.locate(p), ripq_floorplan::Location::Outside)
-                    {
+                    if !matches!(self.world.plan.locate(p), ripq_floorplan::Location::Outside) {
                         return p;
                     }
                 }
@@ -182,7 +181,7 @@ impl Experiment {
 
         // 2. Stream seconds into the collector; evaluate at timestamps.
         let mut collector = DataCollector::new();
-        let mut cache = ParticleCache::new();
+        let cache = ParticleCache::new();
         let pf_config = PreprocessorConfig {
             num_particles: p.num_particles,
             negative_evidence: p.negative_evidence,
@@ -196,8 +195,7 @@ impl Experiment {
             },
             ..Default::default()
         };
-        let preprocessor =
-            ParticlePreprocessor::new(&w.graph, &w.anchors, &w.readers, pf_config);
+        let preprocessor = ParticlePreprocessor::new(&w.graph, &w.anchors, &w.readers, pf_config);
 
         let timestamps = p.timestamps();
         let mut next_ts = 0usize;
@@ -219,13 +217,18 @@ impl Experiment {
                 next_ts += 1;
                 let now = second;
 
-                // Both probabilistic indexes over all objects.
-                let pf_index = preprocessor.process(
-                    &mut rng_pf,
+                // Both probabilistic indexes over all objects. One pass
+                // seed per timestamp; each object then filters on its own
+                // derived RNG stream, so `parallelism` never changes the
+                // numbers.
+                let pass_seed: u64 = rng_pf.random();
+                let pf_index = preprocessor.process_streamed(
+                    pass_seed,
                     &collector,
                     &objects,
                     now,
-                    Some(&mut cache),
+                    Some(cache.shared()),
+                    p.parallelism,
                 );
                 let sm_index = w.symbolic.build_index(&collector, &objects, now);
 
@@ -249,8 +252,7 @@ impl Experiment {
                 // kNN queries.
                 for (qi, &point) in knn_points.iter().enumerate() {
                     let truth = ground_truth.knn(point, p.k, now);
-                    let query =
-                        KnnQuery::new(QueryId::new(qi as u32), point, p.k).expect("k >= 1");
+                    let query = KnnQuery::new(QueryId::new(qi as u32), point, p.k).expect("k >= 1");
                     let pf_rs = evaluate_knn(&w.graph, &w.anchors, &pf_index, &query);
                     let sm_rs = evaluate_knn(&w.graph, &w.anchors, &sm_index, &query);
                     hit_pf.push(metrics::knn_hit_rate(pf_rs.objects(), &truth, p.k));
@@ -363,6 +365,20 @@ mod tests {
         let r1 = Experiment::new(params).run();
         let r2 = Experiment::new(params).run();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn parallel_preprocessing_does_not_change_results() {
+        let base = ExperimentParams::smoke();
+        let sequential = Experiment::new(base).run();
+        let parallel = Experiment::new(ExperimentParams {
+            parallelism: Some(4),
+            ..base
+        })
+        .run();
+        // AccuracyReport is Copy/PartialEq over f64 fields: this is a
+        // bit-for-bit comparison of every metric.
+        assert_eq!(sequential, parallel);
     }
 
     #[test]

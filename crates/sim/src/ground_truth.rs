@@ -71,13 +71,8 @@ mod tests {
         let params = ExperimentParams::smoke();
         let w = SimWorld::build(&params);
         let mut rng = StdRng::seed_from_u64(10);
-        let traces = TraceGenerator::new(8.0).generate(
-            &mut rng,
-            &w.graph,
-            w.plan.rooms().len(),
-            20,
-            120,
-        );
+        let traces =
+            TraceGenerator::new(8.0).generate(&mut rng, &w.graph, w.plan.rooms().len(), 20, 120);
         (w, traces)
     }
 

@@ -238,16 +238,15 @@ mod tests {
         assert_eq!(knn_hit_rate([o(0), o(5)], &truth, 3), 1.0 / 3.0);
         assert_eq!(knn_hit_rate([o(7)], &truth, 3), 0.0);
         // Oversized returns cannot exceed 1.
-        assert_eq!(
-            knn_hit_rate([o(0), o(1), o(2), o(0)], &truth, 3),
-            1.0
-        );
+        assert_eq!(knn_hit_rate([o(0), o(1), o(2), o(0)], &truth, 3), 1.0);
         assert_eq!(knn_hit_rate([o(0)], &truth, 0), 0.0);
     }
 
     #[test]
     fn top_k_objects_ordering() {
-        let rs: ResultSet = [(o(0), 0.1), (o(1), 0.9), (o(2), 0.5)].into_iter().collect();
+        let rs: ResultSet = [(o(0), 0.1), (o(1), 0.9), (o(2), 0.5)]
+            .into_iter()
+            .collect();
         assert_eq!(top_k_objects(&rs, 2), vec![o(1), o(2)]);
     }
 

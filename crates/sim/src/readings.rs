@@ -103,13 +103,8 @@ mod tests {
         let params = ExperimentParams::smoke();
         let w = SimWorld::build(&params);
         let mut rng = StdRng::seed_from_u64(6);
-        let traces = TraceGenerator::new(5.0).generate(
-            &mut rng,
-            &w.graph,
-            w.plan.rooms().len(),
-            10,
-            120,
-        );
+        let traces =
+            TraceGenerator::new(5.0).generate(&mut rng, &w.graph, w.plan.rooms().len(), 10, 120);
         let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
         let mut any = false;
         for s in 0..=120u64 {
@@ -118,10 +113,7 @@ mod tests {
                 let trace = &traces[obj.index()];
                 let p = trace.point_at(&w.graph, s);
                 let reader = &w.readers[rid.index()];
-                assert!(
-                    reader.covers(p),
-                    "detection outside range at second {s}"
-                );
+                assert!(reader.covers(p), "detection outside range at second {s}");
             }
         }
         assert!(any, "objects walking the hallways must be detected");
@@ -132,13 +124,8 @@ mod tests {
         let params = ExperimentParams::smoke();
         let w = SimWorld::build(&params);
         let mut rng = StdRng::seed_from_u64(7);
-        let traces = TraceGenerator::new(5.0).generate(
-            &mut rng,
-            &w.graph,
-            w.plan.rooms().len(),
-            5,
-            60,
-        );
+        let traces =
+            TraceGenerator::new(5.0).generate(&mut rng, &w.graph, w.plan.rooms().len(), 5, 60);
         let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
         let all = gen.detections_all(&mut rng, &traces, 60);
         assert_eq!(all.len(), 61);
@@ -149,21 +136,16 @@ mod tests {
         let params = ExperimentParams::smoke();
         let w = SimWorld::build(&params);
         let mut rng = StdRng::seed_from_u64(9);
-        let traces = TraceGenerator::new(5.0).generate(
-            &mut rng,
-            &w.graph,
-            w.plan.rooms().len(),
-            20,
-            150,
-        );
+        let traces =
+            TraceGenerator::new(5.0).generate(&mut rng, &w.graph, w.plan.rooms().len(), 20, 150);
         let dead = w.readers[3].id();
-        let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing).with_outages(
-            vec![ReaderOutage {
+        let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing).with_outages(vec![
+            ReaderOutage {
                 reader: dead,
                 from: 50,
                 until: 100,
-            }],
-        );
+            },
+        ]);
         let mut dead_before = 0;
         let mut dead_during = 0;
         let mut others_during = 0;
@@ -187,13 +169,8 @@ mod tests {
         let params = ExperimentParams::smoke();
         let w = SimWorld::build(&params);
         let mut rng = StdRng::seed_from_u64(8);
-        let traces = TraceGenerator::new(5.0).generate(
-            &mut rng,
-            &w.graph,
-            w.plan.rooms().len(),
-            5,
-            30,
-        );
+        let traces =
+            TraceGenerator::new(5.0).generate(&mut rng, &w.graph, w.plan.rooms().len(), 5, 30);
         let dead = SensingModel {
             samples_per_second: 10,
             detection_probability: 0.0,

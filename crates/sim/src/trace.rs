@@ -9,7 +9,7 @@
 //! exponentially-distributed number of seconds (mean configurable), which
 //! exercises the motion model's room-stay behavior.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rand_distr::{Distribution, Normal};
 use ripq_floorplan::RoomId;
 use ripq_geom::Point2;
@@ -67,8 +67,7 @@ impl TraceGenerator {
     }
 
     fn sample_speed<R: Rng>(&self, rng: &mut R) -> f64 {
-        let normal =
-            Normal::new(self.speed_mean, self.speed_std).expect("finite parameters");
+        let normal = Normal::new(self.speed_mean, self.speed_std).expect("finite parameters");
         for _ in 0..16 {
             let v = normal.sample(rng);
             if v > 0.05 {

@@ -198,13 +198,8 @@ mod tests {
     fn scene_with_all_layers() {
         let w = world();
         let mut rng = StdRng::seed_from_u64(3);
-        let traces = TraceGenerator::new(5.0).generate(
-            &mut rng,
-            &w.graph,
-            w.plan.rooms().len(),
-            2,
-            60,
-        );
+        let traces =
+            TraceGenerator::new(5.0).generate(&mut rng, &w.graph, w.plan.rooms().len(), 2, 60);
         let dist = vec![
             (w.anchors.anchors()[0].id, 0.5),
             (w.anchors.anchors()[5].id, 0.5),

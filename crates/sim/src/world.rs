@@ -24,8 +24,7 @@ pub struct SimWorld {
 impl SimWorld {
     /// Builds the paper's experimental world for the given parameters.
     pub fn build(params: &ExperimentParams) -> Self {
-        let plan = office_building(&OfficeParams::default())
-            .expect("default office plan is valid");
+        let plan = office_building(&OfficeParams::default()).expect("default office plan is valid");
         Self::build_with_plan(plan, params)
     }
 

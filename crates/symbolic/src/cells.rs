@@ -318,9 +318,7 @@ mod tests {
         for a in anchors.anchors() {
             if let Some(rid) = cells.covering_reader(a.id) {
                 let r = &readers[rid.index()];
-                assert!(
-                    r.position().distance(a.point) <= r.activation_range() + 1e-9
-                );
+                assert!(r.position().distance(a.point) <= r.activation_range() + 1e-9);
             }
         }
     }

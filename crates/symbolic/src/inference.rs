@@ -77,10 +77,7 @@ impl SymbolicModel {
             for &(b, w) in &cells.adjacency()[a.index()] {
                 // Blocked by another reader's range: the object would have
                 // been detected there.
-                if cells
-                    .covering_reader(b)
-                    .is_some_and(|r| r != reader)
-                {
+                if cells.covering_reader(b).is_some_and(|r| r != reader) {
                     continue;
                 }
                 let nd = d + w;
@@ -172,8 +169,7 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-9);
         for (a, _) in dist {
             assert!(
-                r.position().distance(anchors.anchor(a).point)
-                    <= r.activation_range() + 1e-9,
+                r.position().distance(anchors.anchor(a).point) <= r.activation_range() + 1e-9,
                 "Case 1: all mass inside the activation range"
             );
         }

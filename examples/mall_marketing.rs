@@ -12,9 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ripq::core::{
-    evaluate_closest_pairs, evaluate_ptknn, ClosestPairsQuery, PtknnQuery,
-};
+use ripq::core::{evaluate_closest_pairs, evaluate_ptknn, ClosestPairsQuery, PtknnQuery};
 use ripq::floorplan::{shopping_mall, MallParams};
 use ripq::pf::{ParticleCache, ParticlePreprocessor, PreprocessorConfig};
 use ripq::rfid::DataCollector;
@@ -83,11 +81,12 @@ fn main() {
             &ptknn,
             300,
         );
-        println!(
-            "\nt={second:>3}s  probably among the kiosk's 3 nearest (p >= 0.4):"
-        );
+        println!("\nt={second:>3}s  probably among the kiosk's 3 nearest (p >= 0.4):");
         for r in nearby.sorted() {
-            println!("    {} with membership probability {:.2}", r.object, r.probability);
+            println!(
+                "    {} with membership probability {:.2}",
+                r.object, r.probability
+            );
         }
 
         let together = evaluate_closest_pairs(&world.graph, &world.anchors, &index, &pairs_query);

@@ -48,12 +48,7 @@ fn main() {
 
     // 3. Register queries: "who is in the 12 m stretch just past d1?" and
     //    "who are the 2 nearest people to d1?".
-    let window = Rect::new(
-        d1.position().x,
-        d1.position().y - 3.0,
-        12.0,
-        6.0,
-    );
+    let window = Rect::new(d1.position().x, d1.position().y - 3.0, 12.0, 6.0);
     let range_q = system.register_range(window).expect("valid window");
     let knn_q = system.register_knn(d1.position(), 2).expect("valid k");
 

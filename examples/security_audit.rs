@@ -12,9 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ripq::core::{
-    evaluate_closest_pairs, evaluate_range, ClosestPairsQuery,
-};
+use ripq::core::{evaluate_closest_pairs, evaluate_range, ClosestPairsQuery};
 use ripq::pf::{ParticlePreprocessor, PreprocessorConfig};
 use ripq::rfid::{HistoryCollector, ReadingStore};
 use ripq::sim::{ExperimentParams, ReadingGenerator, SimWorld, TraceGenerator};

@@ -46,7 +46,7 @@ fn main() {
                 "usage: ripq <plan|simulate|trace|defaults> [options]\n\
                  \n\
                  plan [office|mall|subway|tower] [--svg FILE]\n\
-                 simulate [--objects N] [--duration S] [--seed N]\n\
+                 simulate [--objects N] [--duration S] [--seed N] [--parallelism N]\n\
                  trace [--object N] [--duration S] [--seed N] [--svg FILE]\n\
                  defaults"
             );
@@ -114,19 +114,34 @@ fn cmd_simulate(args: &[String]) {
         num_objects: parse_or(flag(args, "--objects"), 60),
         duration: parse_or(flag(args, "--duration"), 240),
         seed: parse_or(flag(args, "--seed"), 0xED8_2013),
+        // Preprocessing worker threads; results are bit-identical at any
+        // setting, so this is purely a wall-clock knob.
+        parallelism: flag(args, "--parallelism").and_then(|s| s.parse().ok()),
         eval_timestamps: 10,
         range_queries_per_timestamp: 40,
         knn_query_points: 12,
         ..Default::default()
     };
     println!(
-        "simulating {} objects for {} s (seed {})...",
-        params.num_objects, params.duration, params.seed
+        "simulating {} objects for {} s (seed {}, {} preprocessing thread(s))...",
+        params.num_objects,
+        params.duration,
+        params.seed,
+        params.parallelism.unwrap_or(1).max(1)
     );
     let r = Experiment::new(params).run();
-    println!("range-query KL divergence: PF {:.3}  SM {:.3}", r.range_kl_pf, r.range_kl_sm);
-    println!("kNN average hit rate:      PF {:.3}  SM {:.3}", r.knn_hit_pf, r.knn_hit_sm);
-    println!("top-1 / top-2 success:     {:.3} / {:.3}", r.top1_success, r.top2_success);
+    println!(
+        "range-query KL divergence: PF {:.3}  SM {:.3}",
+        r.range_kl_pf, r.range_kl_sm
+    );
+    println!(
+        "kNN average hit rate:      PF {:.3}  SM {:.3}",
+        r.knn_hit_pf, r.knn_hit_sm
+    );
+    println!(
+        "top-1 / top-2 success:     {:.3} / {:.3}",
+        r.top1_success, r.top2_success
+    );
     println!(
         "({} range queries, {} kNN evaluations)",
         r.range_queries_evaluated, r.knn_queries_evaluated
@@ -184,10 +199,7 @@ fn cmd_trace(args: &[String]) {
                     .draw_readers(&world.readers)
                     .draw_trace(&world.graph, truth, "#4040d0");
                 // Overlay the reconstruction's mode anchors.
-                let dist: Vec<_> = traj
-                    .iter()
-                    .map(|tp| (tp.mode, 0.08))
-                    .collect();
+                let dist: Vec<_> = traj.iter().map(|tp| (tp.mode, 0.08)).collect();
                 scene.draw_distribution(&world.anchors, &dist, "#d04040");
                 std::fs::write(&path, scene.finish()).expect("write SVG");
                 println!("wrote {path} (blue = truth, red = reconstruction)");

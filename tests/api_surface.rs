@@ -103,10 +103,7 @@ fn hallway_and_plan_accessors() {
     for d in plan.doors() {
         // Door accessors round-trip through the plan.
         assert_eq!(plan.door(d.id()).id(), d.id());
-        assert!(plan
-            .room(d.room())
-            .doors()
-            .contains(&d.id()));
+        assert!(plan.room(d.room()).doors().contains(&d.id()));
     }
     // doors_of_hallway partitions all doors.
     let total: usize = plan

@@ -16,13 +16,8 @@ fn continuous_results_match_fresh_evaluation() {
     let mut rng_trace = StdRng::seed_from_u64(21);
     let mut rng_sense = StdRng::seed_from_u64(22);
     let mut rng_pf = StdRng::seed_from_u64(23);
-    let traces = TraceGenerator::new(6.0).generate(
-        &mut rng_trace,
-        &w.graph,
-        w.plan.rooms().len(),
-        25,
-        150,
-    );
+    let traces =
+        TraceGenerator::new(6.0).generate(&mut rng_trace, &w.graph, w.plan.rooms().len(), 25, 150);
     let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
     let objects: Vec<_> = traces.iter().map(|t| t.object).collect();
     let pre = ParticlePreprocessor::new(
@@ -36,8 +31,12 @@ fn continuous_results_match_fresh_evaluation() {
 
     let room = &w.plan.rooms()[8];
     let range_query = RangeQuery::new(QueryId::new(0), *room.footprint()).unwrap();
-    let knn_query =
-        KnnQuery::new(QueryId::new(1), w.plan.hallways()[0].footprint().center(), 2).unwrap();
+    let knn_query = KnnQuery::new(
+        QueryId::new(1),
+        w.plan.hallways()[0].footprint().center(),
+        2,
+    )
+    .unwrap();
     let mut c_range = ContinuousRangeQuery::new(range_query);
     let mut c_knn = ContinuousKnnQuery::new(knn_query);
 

@@ -51,6 +51,83 @@ fn system_facade_reproduces_under_fixed_seed() {
     assert_eq!(p1, p2);
 }
 
+/// Runs a fixed workload through the system facade at the given
+/// preprocessing parallelism and returns its evaluation report.
+fn evaluate_with_parallelism(parallelism: Option<usize>) -> ripq::core::EvaluationReport {
+    let plan = office_building(&OfficeParams::default()).unwrap();
+    let config = SystemConfig {
+        parallelism,
+        ..SystemConfig::default()
+    };
+    let mut sys = IndoorQuerySystem::new(plan, config, 4242);
+    let reader_ids: Vec<_> = sys.readers().iter().map(|r| r.id()).collect();
+    // 12 objects pinging a rotating subset of readers for 16 seconds.
+    for s in 0..16u64 {
+        let det: Vec<_> = (0..12u32)
+            .map(|i| {
+                (
+                    ObjectId::new(i),
+                    reader_ids[((i + s as u32) % reader_ids.len() as u32) as usize],
+                )
+            })
+            .collect();
+        sys.ingest_detections(s, &det);
+    }
+    let center = sys.plan().bounds().center();
+    sys.register_range(Rect::centered(center, 16.0, 12.0))
+        .unwrap();
+    sys.register_knn(center, 3).unwrap();
+    sys.register_ptknn(center, 3, 0.2).unwrap();
+    sys.evaluate(16)
+}
+
+#[test]
+fn parallel_evaluation_matches_sequential_bit_for_bit() {
+    let baseline = evaluate_with_parallelism(None);
+    assert!(
+        baseline.candidates_processed > 0,
+        "workload must be non-trivial"
+    );
+    for workers in [1usize, 2, 4] {
+        let parallel = evaluate_with_parallelism(Some(workers));
+        // Query answers: exact f64 equality, not tolerance — the parallel
+        // path must replay the sequential RNG streams verbatim.
+        assert_eq!(
+            baseline.range_results, parallel.range_results,
+            "range results diverge at {workers} workers"
+        );
+        assert_eq!(
+            baseline.knn_results, parallel.knn_results,
+            "kNN results diverge at {workers} workers"
+        );
+        assert_eq!(
+            baseline.ptknn_results, parallel.ptknn_results,
+            "PTkNN results diverge at {workers} workers"
+        );
+        assert_eq!(baseline.candidates_processed, parallel.candidates_processed);
+        // The APtoObjHT itself: every per-object distribution identical.
+        assert_eq!(baseline.index.object_count(), parallel.index.object_count());
+        for o in baseline.index.objects() {
+            assert_eq!(
+                baseline.index.distribution(o),
+                parallel.index.distribution(o),
+                "index distribution for {o:?} diverges at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_experiment_matches_sequential_end_to_end() {
+    let sequential = Experiment::new(ExperimentParams::smoke()).run();
+    let parallel = Experiment::new(ExperimentParams {
+        parallelism: Some(4),
+        ..ExperimentParams::smoke()
+    })
+    .run();
+    assert_eq!(sequential, parallel);
+}
+
 #[test]
 fn floor_plan_and_graph_construction_deterministic() {
     let p1 = office_building(&OfficeParams::default()).unwrap();

@@ -3,13 +3,14 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ripq::core::{evaluate_knn, evaluate_range, IndoorQuerySystem, KnnQuery, QueryId, SystemConfig};
+use ripq::core::{
+    evaluate_knn, evaluate_range, IndoorQuerySystem, KnnQuery, QueryId, SystemConfig,
+};
 use ripq::geom::Rect;
 use ripq::pf::{ParticleCache, ParticlePreprocessor, PreprocessorConfig};
 use ripq::rfid::{DataCollector, ObjectId};
 use ripq::sim::{
-    metrics, Experiment, ExperimentParams, GroundTruth, ReadingGenerator, SimWorld,
-    TraceGenerator,
+    metrics, Experiment, ExperimentParams, GroundTruth, ReadingGenerator, SimWorld, TraceGenerator,
 };
 
 /// The headline result (§5): the particle-filter method beats the symbolic
@@ -52,13 +53,8 @@ fn range_probabilities_are_calibrated() {
     let mut rng_trace = StdRng::seed_from_u64(1);
     let mut rng_sense = StdRng::seed_from_u64(2);
     let mut rng_pf = StdRng::seed_from_u64(3);
-    let traces = TraceGenerator::new(8.0).generate(
-        &mut rng_trace,
-        &w.graph,
-        w.plan.rooms().len(),
-        20,
-        150,
-    );
+    let traces =
+        TraceGenerator::new(8.0).generate(&mut rng_trace, &w.graph, w.plan.rooms().len(), 20, 150);
     let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
     let objects: Vec<_> = traces.iter().map(|t| t.object).collect();
     let mut collector = DataCollector::new();
@@ -104,13 +100,8 @@ fn knn_total_probability_reaches_k() {
     let mut rng_trace = StdRng::seed_from_u64(4);
     let mut rng_sense = StdRng::seed_from_u64(5);
     let mut rng_pf = StdRng::seed_from_u64(6);
-    let traces = TraceGenerator::new(8.0).generate(
-        &mut rng_trace,
-        &w.graph,
-        w.plan.rooms().len(),
-        15,
-        120,
-    );
+    let traces =
+        TraceGenerator::new(8.0).generate(&mut rng_trace, &w.graph, w.plan.rooms().len(), 15, 120);
     let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
     let objects: Vec<_> = traces.iter().map(|t| t.object).collect();
     let mut collector = DataCollector::new();

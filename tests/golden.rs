@@ -1,0 +1,168 @@
+//! Golden regression test: a canned floor plan and RFID trace pushed
+//! through the full pipeline, with the exact Algorithm 3 (range) and
+//! Algorithm 4 (kNN) outputs pinned bit-for-bit against a committed
+//! fixture.
+//!
+//! The expected file stores each probability both as its IEEE-754 bit
+//! pattern (compared exactly) and as a human-readable decimal. After an
+//! *intentional* numeric change, regenerate with
+//!
+//! ```text
+//! RIPQ_REGEN_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! and commit the updated `tests/fixtures/expected_queries.txt` together
+//! with a note explaining why the numbers moved.
+
+use ripq::core::{EvaluationReport, IndoorQuerySystem, QueryId, ResultSet, SystemConfig};
+use ripq::floorplan::{FloorPlan, FloorPlanBuilder};
+use ripq::geom::{Point2, Rect};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 0x60_1D;
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Parses the `hallway` / `room` / `door` line format of
+/// `tests/fixtures/mini_plan.txt`.
+fn load_plan() -> FloorPlan {
+    let text = std::fs::read_to_string(fixture_path("mini_plan.txt")).expect("plan fixture");
+    let mut b = FloorPlanBuilder::new();
+    let mut halls = Vec::new();
+    let mut rooms = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        let num = |i: usize| f[i].parse::<f64>().expect("numeric field");
+        match f[0] {
+            "hallway" => {
+                halls.push(b.add_hallway(Rect::new(num(1), num(2), num(3), num(4)), f[5]));
+            }
+            "room" => {
+                rooms.push(b.add_room(Rect::new(num(1), num(2), num(3), num(4)), f[5]));
+            }
+            "door" => {
+                let room = rooms[f[3].parse::<usize>().expect("room index")];
+                let hall = halls[f[4].parse::<usize>().expect("hallway index")];
+                b.add_door(Point2::new(num(1), num(2)), room, hall);
+            }
+            other => panic!("unknown plan directive {other:?}"),
+        }
+    }
+    b.build().expect("fixture plan is valid")
+}
+
+/// Feeds `mini_trace.txt` into the system and evaluates one range and one
+/// kNN query at `now`.
+fn run_fixture() -> (EvaluationReport, QueryId, QueryId, u64) {
+    let config = SystemConfig {
+        reader_count: 6,
+        // The fixture exercises the evaluators, not the optimizer; keep
+        // every object a candidate so the outputs cover all three.
+        prune_candidates: false,
+        ..SystemConfig::default()
+    };
+    let mut sys = IndoorQuerySystem::new(load_plan(), config, SEED);
+    let readers: Vec<_> = sys.readers().iter().map(|r| r.id()).collect();
+
+    let text = std::fs::read_to_string(fixture_path("mini_trace.txt")).expect("trace fixture");
+    let mut by_second: std::collections::BTreeMap<u64, Vec<(ripq::rfid::ObjectId, _)>> =
+        std::collections::BTreeMap::new();
+    let mut last = 0u64;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        let second: u64 = f[0].parse().expect("second");
+        let object: u32 = f[1].parse().expect("object");
+        let reader: usize = f[2].parse().expect("reader index");
+        by_second
+            .entry(second)
+            .or_default()
+            .push((ripq::rfid::ObjectId::new(object), readers[reader]));
+        last = last.max(second);
+    }
+    let now = last + 3;
+    for s in 0..=now {
+        let det = by_second.remove(&s).unwrap_or_default();
+        sys.ingest_detections(s, &det);
+    }
+
+    let range_q = sys
+        .register_range(Rect::new(2.0, 6.0, 12.0, 5.0))
+        .expect("range query");
+    let knn_q = sys
+        .register_knn(Point2::new(12.0, 9.0), 2)
+        .expect("kNN query");
+    (sys.evaluate(now), range_q, knn_q, now)
+}
+
+/// Renders a result set as stable `kind object bits decimal` lines.
+fn render(out: &mut String, kind: &str, rs: &ResultSet) {
+    for r in rs.sorted() {
+        writeln!(
+            out,
+            "{kind} {} {:016x} {:.17e}",
+            r.object.raw(),
+            r.probability.to_bits(),
+            r.probability
+        )
+        .expect("string write");
+    }
+}
+
+#[test]
+fn golden_range_and_knn_outputs() {
+    let (report, range_q, knn_q, now) = run_fixture();
+    let mut actual = String::new();
+    writeln!(
+        actual,
+        "# Golden Algorithm 3/4 outputs at t={now}, seed {SEED:#x}.\n\
+         # Regenerate: RIPQ_REGEN_GOLDEN=1 cargo test --test golden\n\
+         # format: <kind> <object> <f64-bits-hex> <decimal>"
+    )
+    .expect("string write");
+    writeln!(
+        actual,
+        "candidates_processed {}",
+        report.candidates_processed
+    )
+    .unwrap();
+    render(&mut actual, "range", &report.range_results[&range_q]);
+    render(&mut actual, "knn", &report.knn_results[&knn_q]);
+
+    let path = fixture_path("expected_queries.txt");
+    if std::env::var_os("RIPQ_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .expect("missing golden fixture; run with RIPQ_REGEN_GOLDEN=1 to create it");
+    assert_eq!(
+        expected, actual,
+        "query outputs drifted from the golden fixture; if the change is \
+         intentional, regenerate with RIPQ_REGEN_GOLDEN=1 cargo test --test golden"
+    );
+}
+
+/// The fixture itself must stay meaningful: all three objects detected,
+/// and both queries returning non-trivial probability.
+#[test]
+fn golden_fixture_is_nontrivial() {
+    let (report, range_q, knn_q, _) = run_fixture();
+    assert_eq!(report.objects_known, 3);
+    assert_eq!(report.candidates_processed, 3);
+    assert!(report.range_results[&range_q].total_probability() > 0.05);
+    assert!(report.knn_results[&knn_q].total_probability() > 0.5);
+}

@@ -14,13 +14,8 @@ fn historical_inference_reflects_only_past_readings() {
     let w = SimWorld::build(&params);
     let mut rng_trace = StdRng::seed_from_u64(31);
     let mut rng_sense = StdRng::seed_from_u64(32);
-    let traces = TraceGenerator::new(6.0).generate(
-        &mut rng_trace,
-        &w.graph,
-        w.plan.rooms().len(),
-        10,
-        150,
-    );
+    let traces =
+        TraceGenerator::new(6.0).generate(&mut rng_trace, &w.graph, w.plan.rooms().len(), 10, 150);
     let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
     let mut history = HistoryCollector::new();
     for s in 0..=150u64 {
@@ -75,13 +70,8 @@ fn historical_views_at_different_instants_differ() {
     let w = SimWorld::build(&params);
     let mut rng_trace = StdRng::seed_from_u64(41);
     let mut rng_sense = StdRng::seed_from_u64(42);
-    let traces = TraceGenerator::new(4.0).generate(
-        &mut rng_trace,
-        &w.graph,
-        w.plan.rooms().len(),
-        5,
-        150,
-    );
+    let traces =
+        TraceGenerator::new(4.0).generate(&mut rng_trace, &w.graph, w.plan.rooms().len(), 5, 150);
     let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
     let mut history = HistoryCollector::new();
     for s in 0..=150u64 {
@@ -112,13 +102,8 @@ fn historical_range_and_knn_queries_run() {
     let w = SimWorld::build(&params);
     let mut rng_trace = StdRng::seed_from_u64(51);
     let mut rng_sense = StdRng::seed_from_u64(52);
-    let traces = TraceGenerator::new(6.0).generate(
-        &mut rng_trace,
-        &w.graph,
-        w.plan.rooms().len(),
-        12,
-        120,
-    );
+    let traces =
+        TraceGenerator::new(6.0).generate(&mut rng_trace, &w.graph, w.plan.rooms().len(), 12, 120);
     let gen = ReadingGenerator::new(&w.graph, &w.readers, params.sensing);
     let gt = GroundTruth::new(&w.graph, &traces);
     let mut history = HistoryCollector::new();

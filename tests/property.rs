@@ -2,11 +2,15 @@
 //! sequences and particle clouds checked against structural invariants.
 
 use proptest::prelude::*;
+use ripq::core::{evaluate_knn, evaluate_range, KnnQuery, QueryId};
 use ripq::floorplan::FloorPlanBuilder;
 use ripq::geom::{Point2, Rect};
-use ripq::graph::{build_walking_graph, AnchorSet, GraphPos};
+use ripq::graph::{build_walking_graph, AnchorObjectIndex, AnchorSet, GraphPos};
 use ripq::pf::{ParticlePreprocessor, PreprocessorConfig};
-use ripq::rfid::{deploy_uniform, DataCollector, HistoryCollector, ObjectId, ReaderId, ReadingStore};
+use ripq::rfid::{
+    deploy_uniform, DataCollector, HistoryCollector, ObjectId, ReaderId, ReadingStore,
+};
+use std::collections::BTreeMap;
 
 /// Strategy: a random valid plan with one hallway and 1–6 rooms below it.
 fn arb_plan() -> impl Strategy<Value = ripq::floorplan::FloorPlan> {
@@ -195,6 +199,171 @@ proptest! {
             prop_assert!(w[0].0 < w[1].0, "sorted unique anchors");
         }
         prop_assert!(out.distribution.iter().all(|&(_, p)| p > 0.0));
+    }
+
+    /// Whatever the detection pattern and worker count, every per-object
+    /// distribution the preprocessing pass snaps into the APtoObjHT is a
+    /// (sub-)probability: its total mass never exceeds 1.
+    #[test]
+    fn index_mass_bounded_after_snapping(
+        detections in proptest::collection::vec(
+            proptest::option::of((0u32..4, 0u32..19)), 10..40
+        ),
+        pass_seed in 0u64..1000,
+        workers in 1usize..=4,
+    ) {
+        let plan = ripq::floorplan::office_building(&Default::default()).unwrap();
+        let graph = build_walking_graph(&plan);
+        let anchors = AnchorSet::generate(&graph, &plan, 1.0);
+        let readers = deploy_uniform(&plan, &graph, 19, 2.0);
+        let mut collector = DataCollector::new();
+        let mut any = false;
+        for (s, step) in detections.iter().enumerate() {
+            let det: Vec<(ObjectId, ReaderId)> = step
+                .map(|(o, r)| {
+                    any = true;
+                    (ObjectId::new(o), readers[r as usize].id())
+                })
+                .into_iter()
+                .collect();
+            collector.ingest_second(s as u64, &det);
+        }
+        prop_assume!(any);
+        let pre = ParticlePreprocessor::new(
+            &graph,
+            &anchors,
+            &readers,
+            PreprocessorConfig::default(),
+        );
+        let candidates: Vec<ObjectId> = (0..4).map(ObjectId::new).collect();
+        let now = detections.len() as u64;
+        let index = pre.process_streamed(
+            pass_seed,
+            &collector,
+            &candidates,
+            now,
+            None,
+            Some(workers),
+        );
+        for o in index.objects() {
+            let total = index.total_probability(o);
+            prop_assert!(
+                total <= 1.0 + 1e-9,
+                "object {o:?} carries mass {total} > 1"
+            );
+            prop_assert!(total > 0.0, "indexed objects must carry mass");
+        }
+    }
+
+    /// Algorithm 3 is monotone in the query window: growing the rectangle
+    /// never lowers any object's probability (hallway width-ratio and room
+    /// area-ratio compensation both grow with window inclusion).
+    #[test]
+    fn range_probability_monotone_in_window(
+        plan in arb_plan(),
+        dists in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..1.0, 0.01f64..1.0), 1..8),
+            1..6,
+        ),
+        cx in 0.1f64..0.9, cy in 0.1f64..0.9,
+        w0 in 0.5f64..4.0, h0 in 0.5f64..4.0,
+        steps in 1usize..6,
+    ) {
+        let graph = build_walking_graph(&plan);
+        let anchors = AnchorSet::generate(&graph, &plan, 1.0);
+        let n_anchors = anchors.anchors().len();
+        let mut index = AnchorObjectIndex::new();
+        for (i, dist) in dists.iter().enumerate() {
+            // Merge duplicate anchors and normalize to unit mass.
+            let mut merged: BTreeMap<_, f64> = BTreeMap::new();
+            for &(f, wgt) in dist {
+                let a = anchors.anchors()[(f * n_anchors as f64) as usize % n_anchors].id;
+                *merged.entry(a).or_insert(0.0) += wgt;
+            }
+            let total: f64 = merged.values().sum();
+            index.set_object(
+                ObjectId::new(i as u32),
+                merged.into_iter().map(|(a, p)| (a, p / total)).collect(),
+            );
+        }
+        let b = plan.bounds();
+        let center = Point2::new(
+            b.min().x + cx * b.width(),
+            b.min().y + cy * b.height(),
+        );
+        let mut prev = evaluate_range(
+            &plan, &anchors, &index, &Rect::centered(center, w0, h0),
+        );
+        for step in 1..=steps {
+            let grow = 1.0 + step as f64 * 1.5;
+            let window = Rect::centered(center, w0 * grow, h0 * grow);
+            let cur = evaluate_range(&plan, &anchors, &index, &window);
+            for o in (0..dists.len() as u32).map(ObjectId::new) {
+                prop_assert!(
+                    cur.probability(o) >= prev.probability(o) - 1e-9,
+                    "object {o:?}: window growth lowered probability \
+                     {} -> {}", prev.probability(o), cur.probability(o)
+                );
+            }
+            prev = cur;
+        }
+    }
+
+    /// Algorithm 4 with unit-mass objects: the top-k slice is sorted by
+    /// descending probability and holds exactly `min(k, candidates)`
+    /// entries.
+    #[test]
+    fn knn_results_sorted_with_min_k_entries(
+        plan in arb_plan(),
+        dists in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..1.0, 0.01f64..1.0), 1..8),
+            1..7,
+        ),
+        k in 1usize..6,
+        qx in 0.0f64..1.0, qy in 0.0f64..1.0,
+    ) {
+        let graph = build_walking_graph(&plan);
+        let anchors = AnchorSet::generate(&graph, &plan, 1.0);
+        let n_anchors = anchors.anchors().len();
+        let mut index = AnchorObjectIndex::new();
+        for (i, dist) in dists.iter().enumerate() {
+            let mut merged: BTreeMap<_, f64> = BTreeMap::new();
+            for &(f, wgt) in dist {
+                let a = anchors.anchors()[(f * n_anchors as f64) as usize % n_anchors].id;
+                *merged.entry(a).or_insert(0.0) += wgt;
+            }
+            let total: f64 = merged.values().sum();
+            index.set_object(
+                ObjectId::new(i as u32),
+                merged.into_iter().map(|(a, p)| (a, p / total)).collect(),
+            );
+        }
+        let b = plan.bounds();
+        let q = KnnQuery::new(
+            QueryId::new(0),
+            Point2::new(b.min().x + qx * b.width(), b.min().y + qy * b.height()),
+            k,
+        )
+        .unwrap();
+        let rs = evaluate_knn(&graph, &anchors, &index, &q);
+        let sorted = rs.sorted();
+        for w in sorted.windows(2) {
+            prop_assert!(
+                w[0].probability >= w[1].probability,
+                "results not sorted by descending probability"
+            );
+        }
+        // Each object carries total mass 1, so the Σp ≥ k stopping rule
+        // needs at least k distinct objects; with fewer than k candidates
+        // the frontier exhausts and returns all of them.
+        let candidates = dists.len();
+        let top = rs.top(k);
+        prop_assert_eq!(
+            top.len(),
+            k.min(candidates),
+            "expected min(k={}, candidates={}) results, got {}",
+            k, candidates, rs.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides the API shape RIPQ's benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `criterion_group!` /
+//! `criterion_main!` — backed by a simple warmup + timed-batch harness
+//! that prints median ns/iter. No statistics engine, plots or CLI
+//! filtering; `cargo bench` runs every registered function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How long each benchmark spends measuring (after warmup).
+const MEASURE_TIME: Duration = Duration::from_millis(300);
+/// How long each benchmark warms up before measuring.
+const WARMUP_TIME: Duration = Duration::from_millis(100);
+/// Number of timed batches the measurement window is split into.
+const BATCHES: usize = 15;
+
+/// Identifies one benchmark within a group, e.g. a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    /// Median wall-clock nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iter over several batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: estimate the per-iteration cost so batches are sized to
+        // fill the measurement window without an unbounded first probe.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TIME {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (WARMUP_TIME.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let batch_ns = MEASURE_TIME.as_nanos() as f64 / BATCHES as f64;
+        let batch_iters = ((batch_ns / est_ns).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch_iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input`, labeled by `id` within the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.ns_per_iter);
+        self
+    }
+
+    /// Benchmarks `f`, labeled by `id` within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    if ns >= 1_000_000.0 {
+        println!("{name:<40} {:>12.3} ms/iter", ns / 1_000_000.0);
+    } else if ns >= 1_000.0 {
+        println!("{name:<40} {:>12.3} µs/iter", ns / 1_000.0);
+    } else {
+        println!("{name:<40} {ns:>12.1} ns/iter");
+    }
+}
+
+/// Re-export point used by generated harness code.
+#[doc(hidden)]
+pub mod __macro_support {
+    pub use super::Criterion;
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grouped");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! RIPQ derives `Serialize`/`Deserialize` on its data types but never
+//! actually serializes through a serde data format in-tree (persistence
+//! is handled by the plan/trace text formats). In hermetic builds the
+//! derives therefore only need to exist and type-check: this stub
+//! provides empty marker traits and no-op derive macros so the
+//! annotations stay in place for a future swap to real serde.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros for the vendored serde stub.
+//!
+//! Nothing in the workspace takes a `T: Serialize` bound, so the derives
+//! only need to be accepted by the compiler — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
