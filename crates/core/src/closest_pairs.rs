@@ -56,16 +56,11 @@ pub fn evaluate_closest_pairs(
         return Vec::new();
     }
 
-    // Distinct anchors used by any distribution.
+    // Distinct anchors used by any distribution (objects without one
+    // simply contribute no anchors).
     let mut support: Vec<AnchorId> = objects
         .iter()
-        .flat_map(|o| {
-            index
-                .distribution(o)
-                .expect("listed")
-                .iter()
-                .map(|&(a, _)| a)
-        })
+        .flat_map(|o| index.distribution(o).into_iter().flatten().map(|&(a, _)| a))
         .collect();
     support.sort_unstable();
     support.dedup();
@@ -85,15 +80,19 @@ pub fn evaluate_closest_pairs(
 
     let mut pairs = Vec::with_capacity(objects.len() * (objects.len() - 1) / 2);
     for (i, &a) in objects.iter().enumerate() {
-        let da = index.distribution(&a).expect("listed");
+        let Some(da) = index.distribution(&a) else {
+            continue;
+        };
         for &b in &objects[i + 1..] {
-            let db = index.distribution(&b).expect("listed");
+            let Some(db) = index.distribution(&b) else {
+                continue;
+            };
             let mut expected = 0.0;
             let mut close = 0.0;
             let mut mass = 0.0;
             for &(aa, pa) in da {
                 for &(ab, pb) in db {
-                    let d = dist[&(aa, ab)];
+                    let d = dist.get(&(aa, ab)).copied().unwrap_or(f64::INFINITY);
                     let w = pa * pb;
                     expected += w * d;
                     mass += w;

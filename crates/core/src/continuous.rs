@@ -38,6 +38,7 @@ impl ResultDelta {
         let mut delta = ResultDelta::default();
         for (o, p_new) in new.iter() {
             let p_old = old.probability(o);
+            // ripq-lint: allow(prob-hygiene) -- exact zero is ResultSet's absent-object sentinel, not a float tolerance
             if p_old == 0.0 {
                 delta.appeared.push((o, p_new));
             } else if (p_new - p_old).abs() > CHANGE_EPSILON {
@@ -45,6 +46,7 @@ impl ResultDelta {
             }
         }
         for (o, _) in old.iter() {
+            // ripq-lint: allow(prob-hygiene) -- exact zero is ResultSet's absent-object sentinel, not a float tolerance
             if new.probability(o) == 0.0 {
                 delta.disappeared.push(o);
             }

@@ -3,8 +3,12 @@
 use std::fmt;
 
 /// Errors surfaced by the query evaluation engine.
+///
+/// This is the workspace-wide error currency for fallible result paths:
+/// the `no-panic-paths` lint rule pushes library code toward returning
+/// `Result<_, RipqError>` instead of unwrapping.
 #[derive(Debug, Clone, PartialEq)]
-pub enum CoreError {
+pub enum RipqError {
     /// A kNN query was registered with `k = 0`.
     ZeroK,
     /// A range query window has zero area.
@@ -13,22 +17,32 @@ pub enum CoreError {
     UnknownQuery(u32),
     /// A PTkNN query was given a probability threshold outside `(0, 1]`.
     InvalidThreshold(f64),
+    /// An object listed by an index was missing its probability entries —
+    /// an internal inconsistency between index views.
+    InconsistentIndex(u32),
 }
 
-impl fmt::Display for CoreError {
+/// Historical name of [`RipqError`], kept for downstream source
+/// compatibility.
+pub type CoreError = RipqError;
+
+impl fmt::Display for RipqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::ZeroK => write!(f, "kNN query requires k >= 1"),
-            CoreError::EmptyWindow => write!(f, "range query window has zero area"),
-            CoreError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
-            CoreError::InvalidThreshold(t) => {
+            RipqError::ZeroK => write!(f, "kNN query requires k >= 1"),
+            RipqError::EmptyWindow => write!(f, "range query window has zero area"),
+            RipqError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            RipqError::InvalidThreshold(t) => {
                 write!(f, "PTkNN threshold must be in (0, 1], got {t}")
+            }
+            RipqError::InconsistentIndex(obj) => {
+                write!(f, "index views disagree about object {obj}")
             }
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for RipqError {}
 
 #[cfg(test)]
 mod tests {
@@ -36,8 +50,15 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(CoreError::ZeroK.to_string().contains("k >= 1"));
-        assert!(CoreError::UnknownQuery(7).to_string().contains('7'));
-        assert!(CoreError::EmptyWindow.to_string().contains("zero area"));
+        assert!(RipqError::ZeroK.to_string().contains("k >= 1"));
+        assert!(RipqError::UnknownQuery(7).to_string().contains('7'));
+        assert!(RipqError::EmptyWindow.to_string().contains("zero area"));
+        assert!(RipqError::InconsistentIndex(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn legacy_alias_still_names_the_same_type() {
+        let e: CoreError = RipqError::ZeroK;
+        assert_eq!(e, RipqError::ZeroK);
     }
 }

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 mod closest_pairs;
 pub mod continuous;
 mod error;
@@ -41,8 +42,9 @@ mod range_eval;
 mod result;
 mod system;
 
+pub use clock::{Clock, ClockInstant, TimingMode};
 pub use closest_pairs::{evaluate_closest_pairs, ClosestPairsQuery, ObjectPair};
-pub use error::CoreError;
+pub use error::{CoreError, RipqError};
 pub use knn_eval::{evaluate_knn, evaluate_knn_with_paths};
 pub use occupancy::{room_occupancy, OccupancyReport, RoomOccupancy};
 pub use optimizer::{

@@ -11,7 +11,7 @@ use ripq_floorplan::{FloorPlan, Location, RoomId};
 use ripq_graph::{AnchorObjectIndex, AnchorSet};
 use ripq_rfid::ObjectId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Expected occupancy of one room.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,12 +59,17 @@ pub fn room_occupancy(
     anchors: &AnchorSet,
     index: &AnchorObjectIndex<ObjectId>,
 ) -> OccupancyReport {
-    // Per (room, object) probability accumulation.
-    let mut per_room: Vec<HashMap<ObjectId, f64>> = vec![HashMap::new(); plan.rooms().len()];
+    // Per (room, object) probability accumulation. Ordered maps so the
+    // per-room float sums below accumulate in object-id order and round
+    // identically on every run.
+    let mut per_room: Vec<BTreeMap<ObjectId, f64>> = vec![BTreeMap::new(); plan.rooms().len()];
     let mut hallway_expected = 0.0;
     let objects: Vec<ObjectId> = index.objects().copied().collect();
     for o in &objects {
-        for &(a, p) in index.distribution(o).expect("listed object") {
+        let Some(dist) = index.distribution(o) else {
+            continue;
+        };
+        for &(a, p) in dist {
             match anchors.anchor(a).location {
                 Location::Room(r) => {
                     *per_room[r.index()].entry(*o).or_insert(0.0) += p;

@@ -108,7 +108,7 @@ pub fn prune_knn_candidates_with_paths(
     }
     // f = k-th minimum of the l_i values.
     let mut ls: Vec<f64> = bounds.iter().map(|&(_, _, l)| l).collect();
-    ls.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    ls.sort_by(f64::total_cmp);
     let f = ls[query.k - 1];
 
     let mut out: Vec<ObjectId> = bounds

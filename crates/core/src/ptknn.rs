@@ -39,6 +39,7 @@ impl PtknnQuery {
         if k == 0 {
             return Err(CoreError::ZeroK);
         }
+        // ripq-lint: allow(prob-hygiene) -- validation rejects exactly T = 0 per the query definition (T ∈ (0, 1]); a tolerance would wrongly reject tiny valid thresholds
         if !(0.0..=1.0).contains(&threshold) || threshold == 0.0 {
             return Err(CoreError::InvalidThreshold(threshold));
         }
@@ -76,18 +77,30 @@ pub fn evaluate_ptknn<R: Rng>(
     if objects.is_empty() || rounds == 0 {
         return ResultSet::new();
     }
+    // An object listed by the index but missing its distribution (or with
+    // an empty one) contributes nothing; skipping it keeps this query path
+    // panic-free instead of trusting cross-view index invariants.
     type ObjDist<'a> = (&'a [(AnchorId, f64)], Vec<f64>);
-    let dists: Vec<ObjDist<'_>> = objects
-        .iter()
-        .map(|o| {
-            let dist = index.distribution(o).expect("listed object");
-            let d: Vec<f64> = dist
-                .iter()
-                .map(|&(a, _)| sp.distance_to(graph, anchors.anchor(a).pos))
-                .collect();
-            (dist, d)
-        })
-        .collect();
+    let mut kept: Vec<ObjectId> = Vec::with_capacity(objects.len());
+    let mut dists: Vec<ObjDist<'_>> = Vec::with_capacity(objects.len());
+    for o in &objects {
+        let Some(dist) = index.distribution(o) else {
+            continue;
+        };
+        if dist.is_empty() {
+            continue;
+        }
+        let d: Vec<f64> = dist
+            .iter()
+            .map(|&(a, _)| sp.distance_to(graph, anchors.anchor(a).pos))
+            .collect();
+        kept.push(*o);
+        dists.push((dist, d));
+    }
+    let objects = kept;
+    if objects.is_empty() {
+        return ResultSet::new();
+    }
 
     let mut membership = vec![0u32; objects.len()];
     let mut sampled = Vec::with_capacity(objects.len());

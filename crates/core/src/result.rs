@@ -2,7 +2,7 @@
 
 use ripq_rfid::ObjectId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One ⟨object, probability⟩ pair of a probabilistic result.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,9 +20,13 @@ pub struct ProbResult {
 ///   probability, inserting when absent;
 /// * **multiplication** (line 15): scales every probability by a constant
 ///   (the width/area compensation ratios).
+///
+/// Backed by a `BTreeMap` so every iteration — including the float
+/// summation in [`ResultSet::total_probability`] — visits objects in id
+/// order and rounds identically on every run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ResultSet {
-    probs: HashMap<ObjectId, f64>,
+    probs: BTreeMap<ObjectId, f64>,
 }
 
 impl ResultSet {
@@ -33,6 +37,7 @@ impl ResultSet {
 
     /// Adds `p` to `object`'s probability (Algorithm 3's `+` operation).
     pub fn add(&mut self, object: ObjectId, p: f64) {
+        // ripq-lint: allow(prob-hygiene) -- exact-zero sentinel: skip inserting objects that contribute nothing, not a tolerance check
         if p != 0.0 {
             *self.probs.entry(object).or_insert(0.0) += p;
         }
@@ -100,12 +105,12 @@ impl ResultSet {
         v
     }
 
-    /// Iterator over ⟨object, probability⟩ pairs (unordered).
+    /// Iterator over ⟨object, probability⟩ pairs in object-id order.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, f64)> + '_ {
         self.probs.iter().map(|(&o, &p)| (o, p))
     }
 
-    /// Objects present in the set (unordered).
+    /// Objects present in the set, in id order.
     pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
         self.probs.keys().copied()
     }

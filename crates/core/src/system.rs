@@ -1,5 +1,6 @@
 //! The end-to-end system facade (Fig. 3 of the paper).
 
+use crate::clock::{Clock, TimingMode};
 use crate::{
     evaluate_closest_pairs, evaluate_knn_with_paths, evaluate_ptknn, evaluate_range,
     prune_knn_candidates_with_paths, prune_range_candidates, ClosestPairsQuery, CoreError,
@@ -16,9 +17,9 @@ use ripq_graph::{
 use ripq_pf::{CacheStats, ParticleCache, ParticlePreprocessor, PreprocessorConfig};
 use ripq_rfid::{deploy_uniform, DataCollector, ObjectId, RawReading, Reader, ReaderId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of an [`IndoorQuerySystem`]. Defaults match Table 2 of
 /// the paper (64 particles, 19 readers, 2 m activation range, …).
@@ -46,6 +47,11 @@ pub struct SystemConfig {
     /// for every setting: each object draws from its own RNG stream (see
     /// [`ripq_pf::derive_stream_seed`]).
     pub parallelism: Option<usize>,
+    /// How [`EvaluationTimings`] are measured. [`TimingMode::Wall`]
+    /// (default) reads the real clock; [`TimingMode::Logical`] uses a
+    /// deterministic tick counter so whole reports are bit-identical
+    /// across runs.
+    pub timing: TimingMode,
 }
 
 impl Default for SystemConfig {
@@ -60,11 +66,13 @@ impl Default for SystemConfig {
             prune_candidates: true,
             ptknn_rounds: 200,
             parallelism: None,
+            timing: TimingMode::Wall,
         }
     }
 }
 
-/// Wall-clock breakdown of one evaluation pass.
+/// Timing breakdown of one evaluation pass, measured by the clock that
+/// [`SystemConfig::timing`] selects (wall clock or deterministic ticks).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvaluationTimings {
     /// Candidate pruning (§4.3).
@@ -78,16 +86,19 @@ pub struct EvaluationTimings {
 }
 
 /// The result of one evaluation pass over all registered queries.
+///
+/// Result maps are `BTreeMap`s so that iterating a report visits queries
+/// in `QueryId` order — reports serialize and diff deterministically.
 #[derive(Debug)]
 pub struct EvaluationReport {
     /// Result set per registered range query.
-    pub range_results: HashMap<QueryId, ResultSet>,
+    pub range_results: BTreeMap<QueryId, ResultSet>,
     /// Result set per registered kNN query.
-    pub knn_results: HashMap<QueryId, ResultSet>,
+    pub knn_results: BTreeMap<QueryId, ResultSet>,
     /// Result set per registered PTkNN query.
-    pub ptknn_results: HashMap<QueryId, ResultSet>,
+    pub ptknn_results: BTreeMap<QueryId, ResultSet>,
     /// Result pairs per registered closest-pairs query.
-    pub closest_pairs_results: HashMap<QueryId, Vec<ObjectPair>>,
+    pub closest_pairs_results: BTreeMap<QueryId, Vec<ObjectPair>>,
     /// The filtered probabilistic index (`APtoObjHT`) the results came
     /// from — exposed for accuracy metrics and debugging.
     pub index: AnchorObjectIndex<ObjectId>,
@@ -121,13 +132,17 @@ pub struct IndoorQuerySystem {
     /// Memoized Dijkstra trees keyed by source position, shared by query
     /// registration and per-pass candidate pruning.
     sp_cache: ShortestPathCache,
-    range_queries: HashMap<QueryId, RangeQuery>,
-    knn_queries: HashMap<QueryId, KnnQuery>,
+    // Query registries are ordered maps: evaluation visits queries in
+    // registration (QueryId) order, so shared state touched per query —
+    // most importantly the master RNG consumed by PTkNN sampling — sees
+    // the same sequence every run.
+    range_queries: BTreeMap<QueryId, RangeQuery>,
+    knn_queries: BTreeMap<QueryId, KnnQuery>,
     /// Dijkstra results for registered kNN queries' fixed points, computed
     /// once at registration and reused every evaluation pass.
-    knn_paths: HashMap<QueryId, Arc<ShortestPaths>>,
-    ptknn_queries: HashMap<QueryId, PtknnQuery>,
-    closest_pairs_queries: HashMap<QueryId, ClosestPairsQuery>,
+    knn_paths: BTreeMap<QueryId, Arc<ShortestPaths>>,
+    ptknn_queries: BTreeMap<QueryId, PtknnQuery>,
+    closest_pairs_queries: BTreeMap<QueryId, ClosestPairsQuery>,
     next_query: u32,
 }
 
@@ -149,11 +164,11 @@ impl IndoorQuerySystem {
             config,
             rng: StdRng::seed_from_u64(seed),
             sp_cache: ShortestPathCache::new(),
-            range_queries: HashMap::new(),
-            knn_queries: HashMap::new(),
-            knn_paths: HashMap::new(),
-            ptknn_queries: HashMap::new(),
-            closest_pairs_queries: HashMap::new(),
+            range_queries: BTreeMap::new(),
+            knn_queries: BTreeMap::new(),
+            knn_paths: BTreeMap::new(),
+            ptknn_queries: BTreeMap::new(),
+            closest_pairs_queries: BTreeMap::new(),
             next_query: 0,
         }
     }
@@ -272,11 +287,12 @@ impl IndoorQuerySystem {
     /// Runs the full pipeline at time `now`: candidate pruning →
     /// particle-filter preprocessing (with cache) → query evaluation.
     pub fn evaluate(&mut self, now: u64) -> EvaluationReport {
-        let t_start = Instant::now();
+        let clock = Clock::new(self.config.timing);
+        let t_start = clock.now();
         let objects_known = self.collector.objects().count();
 
         // 1. Query-aware optimization (§4.3).
-        let t_prune = Instant::now();
+        let t_prune = clock.now();
         let candidates: Vec<ObjectId> = if self.config.prune_candidates {
             let windows: Vec<Rect> = self.range_queries.values().map(|q| q.window).collect();
             let mut c = prune_range_candidates(
@@ -331,14 +347,14 @@ impl IndoorQuerySystem {
             c
         };
 
-        let pruning = t_prune.elapsed();
+        let pruning = clock.since(t_prune);
 
         // 2. Particle-filter preprocessing (§4.4) + cache (§4.5).
         // One pass seed is drawn from the master RNG; every candidate then
         // filters on its own stream derived from (pass seed, object,
         // resume timestamp), so the outcome is identical whatever
         // `config.parallelism` says.
-        let t_pre = Instant::now();
+        let t_pre = clock.now();
         let pass_seed: u64 = self.rng.random();
         let preprocessor = ParticlePreprocessor::new(
             &self.graph,
@@ -355,18 +371,18 @@ impl IndoorQuerySystem {
             cache,
             self.config.parallelism,
         );
-        let preprocessing = t_pre.elapsed();
+        let preprocessing = clock.since(t_pre);
 
         // 3. Query evaluation (§4.6).
-        let t_eval = Instant::now();
-        let mut range_results = HashMap::new();
+        let t_eval = clock.now();
+        let mut range_results = BTreeMap::new();
         for (id, q) in &self.range_queries {
             range_results.insert(
                 *id,
                 evaluate_range(&self.plan, &self.anchors, &index, &q.window),
             );
         }
-        let mut knn_results = HashMap::new();
+        let mut knn_results = BTreeMap::new();
         for (id, q) in &self.knn_queries {
             let sp = &self.knn_paths[id];
             knn_results.insert(
@@ -374,7 +390,7 @@ impl IndoorQuerySystem {
                 evaluate_knn_with_paths(&self.graph, &self.anchors, &index, q, sp),
             );
         }
-        let mut ptknn_results = HashMap::new();
+        let mut ptknn_results = BTreeMap::new();
         for (id, q) in &self.ptknn_queries {
             ptknn_results.insert(
                 *id,
@@ -388,7 +404,7 @@ impl IndoorQuerySystem {
                 ),
             );
         }
-        let mut closest_pairs_results = HashMap::new();
+        let mut closest_pairs_results = BTreeMap::new();
         for (id, q) in &self.closest_pairs_queries {
             closest_pairs_results.insert(
                 *id,
@@ -396,7 +412,7 @@ impl IndoorQuerySystem {
             );
         }
 
-        let evaluation = t_eval.elapsed();
+        let evaluation = clock.since(t_eval);
 
         EvaluationReport {
             range_results,
@@ -411,7 +427,7 @@ impl IndoorQuerySystem {
                 pruning,
                 preprocessing,
                 evaluation,
-                total: t_start.elapsed(),
+                total: clock.since(t_start),
             },
         }
     }
@@ -570,6 +586,37 @@ mod tests {
         assert_eq!((pairs[0].a, pairs[0].b), (o(0), o(1)));
         // All three objects were preprocessed (closest-pairs is global).
         assert_eq!(report.candidates_processed, 3);
+    }
+
+    #[test]
+    fn logical_timings_are_bit_identical_across_runs() {
+        let run = || {
+            let plan = office_building(&OfficeParams::default()).unwrap();
+            let cfg = SystemConfig {
+                timing: TimingMode::Logical,
+                ..Default::default()
+            };
+            let mut sys = IndoorQuerySystem::new(plan, cfg, 7);
+            let reader = sys.readers()[2];
+            for s in 0..3u64 {
+                sys.ingest_detections(s, &[(o(0), reader.id())]);
+            }
+            sys.register_range(Rect::centered(reader.position(), 8.0, 6.0))
+                .unwrap();
+            sys.register_ptknn(reader.position(), 1, 0.5).unwrap();
+            let report = sys.evaluate(3);
+            (report.timings, report.ptknn_results)
+        };
+        let (t1, p1) = run();
+        let (t2, p2) = run();
+        assert_eq!(t1, t2, "logical timings must be reproducible");
+        assert!(t1.total >= t1.evaluation);
+        let flat = |m: &BTreeMap<QueryId, ResultSet>| -> Vec<(QueryId, Vec<(ObjectId, f64)>)> {
+            m.iter()
+                .map(|(id, rs)| (*id, rs.iter().collect()))
+                .collect()
+        };
+        assert_eq!(flat(&p1), flat(&p2), "PTkNN sampling must be reproducible");
     }
 
     #[test]

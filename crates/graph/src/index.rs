@@ -11,27 +11,31 @@
 //! need fast access.
 
 use crate::AnchorId;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Bidirectional anchor ↔ object probability index, generic over the
 /// object key type (RIPQ instantiates it with its `ObjectId`).
+///
+/// Both views are ordered maps: every iteration — [`Self::objects`] in
+/// particular — visits keys in their natural order, so downstream
+/// consumers (PTkNN sampling, occupancy sums) behave identically across
+/// runs with no per-call-site sorting.
 #[derive(Debug, Clone)]
 pub struct AnchorObjectIndex<K> {
-    by_anchor: HashMap<AnchorId, Vec<(K, f64)>>,
-    by_object: HashMap<K, Vec<(AnchorId, f64)>>,
+    by_anchor: BTreeMap<AnchorId, Vec<(K, f64)>>,
+    by_object: BTreeMap<K, Vec<(AnchorId, f64)>>,
 }
 
 impl<K> Default for AnchorObjectIndex<K> {
     fn default() -> Self {
         AnchorObjectIndex {
-            by_anchor: HashMap::new(),
-            by_object: HashMap::new(),
+            by_anchor: BTreeMap::new(),
+            by_object: BTreeMap::new(),
         }
     }
 }
 
-impl<K: Copy + Eq + Hash> AnchorObjectIndex<K> {
+impl<K: Copy + Ord> AnchorObjectIndex<K> {
     /// Creates an empty index.
     pub fn new() -> Self {
         Self::default()
@@ -84,7 +88,7 @@ impl<K: Copy + Eq + Hash> AnchorObjectIndex<K> {
             .map_or(0.0, |d| d.iter().map(|(_, p)| p).sum())
     }
 
-    /// Iterator over all objects with a stored distribution.
+    /// Iterator over all objects with a stored distribution, in key order.
     pub fn objects(&self) -> impl Iterator<Item = &K> {
         self.by_object.keys()
     }

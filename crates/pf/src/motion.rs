@@ -57,6 +57,7 @@ impl MotionModel {
     /// Draws a particle speed from N(μ, σ²), truncated to a sane positive
     /// range (a non-positive walking speed is re-drawn).
     pub fn sample_speed<R: Rng>(&self, rng: &mut R) -> f64 {
+        // ripq-lint: allow(no-panic-paths) -- speed_mean/speed_std come from PreprocessorConfig defaults or validated setup; Normal::new only fails on non-finite σ, a programming error worth aborting on
         let normal = Normal::new(self.speed_mean, self.speed_std).expect("finite speed parameters");
         for _ in 0..16 {
             let v = normal.sample(rng);
@@ -126,6 +127,7 @@ impl MotionModel {
             // over at the next step.
             if matches!(node_kind, NodeKind::Room(_)) {
                 let e = graph.edge(state.pos.edge);
+                // ripq-lint: allow(no-panic-paths) -- `node` is one of this edge's two endpoints by construction (it was reached by walking the edge), so offset_of cannot miss
                 let offset = e.offset_of(node).expect("target is an endpoint");
                 state.pos = GraphPos::new(state.pos.edge, offset);
                 return;
@@ -165,6 +167,7 @@ impl MotionModel {
                 }
             };
             let e = graph.edge(choice);
+            // ripq-lint: allow(no-panic-paths) -- `choice` came from graph.incident(node), so the edge is incident to `node` by the graph's adjacency invariant
             let from_offset = e.offset_of(node).expect("incident edge");
             state.heading = if from_offset <= 1e-9 {
                 Heading::TowardB

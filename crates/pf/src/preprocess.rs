@@ -224,6 +224,7 @@ impl<'a> ParticlePreprocessor<'a> {
     ) -> PreprocessOutcome {
         let agg = collector
             .aggregated(object)
+            // ripq-lint: allow(no-panic-paths) -- plan_object (the only caller path) already verified the object is known to the collector
             .expect("plan_object verified the object is known");
 
         let (mut filter, start, resumed) = match plan.cached {
@@ -492,6 +493,7 @@ impl<'a> ParticlePreprocessor<'a> {
                     .collect();
                 handles
                     .into_iter()
+                    // ripq-lint: allow(no-panic-paths) -- a worker panic is a programming error; re-raising it on the coordinating thread preserves abort semantics instead of silently dropping results
                     .map(|h| h.join().expect("preprocessing worker panicked"))
                     .collect()
             });

@@ -186,6 +186,7 @@ fn push_sample(
         .iter()
         .copied()
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        // ripq-lint: allow(no-panic-paths) -- the filter always carries config.particles ≥ 1 particles, so the snapped set is never empty
         .expect("non-empty particle set");
     out.push(TrajectoryPoint {
         second,

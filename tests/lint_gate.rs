@@ -1,0 +1,39 @@
+//! Tier-1 gate: the real workspace must stay lint-clean.
+//!
+//! Runs the `cargo xtask lint` engine in-process against this repository
+//! and fails on any unsuppressed violation or stale allowlist entry, so
+//! a regression shows up in `cargo test` even when the CI lint job is
+//! skipped.
+
+use xtask::lint;
+
+#[test]
+fn workspace_has_no_unsuppressed_lint_violations() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint::run(root).expect("lint pass runs");
+    let active: Vec<String> = report
+        .active()
+        .map(|d| {
+            format!(
+                "{}:{}:{} [{}/{}] {}",
+                d.file, d.line, d.col, d.rule_id, d.rule_name, d.message
+            )
+        })
+        .collect();
+    assert!(
+        active.is_empty(),
+        "unsuppressed lint violations:\n{}",
+        active.join("\n")
+    );
+    let stale: Vec<String> = report
+        .stale_allowlist
+        .iter()
+        .map(|e| format!("({}, {})", e.rule, e.path_prefix))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale allowlist entries (prune them): {}",
+        stale.join(", ")
+    );
+    assert!(report.files_scanned > 50, "scan actually covered the tree");
+}

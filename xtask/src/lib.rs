@@ -1,0 +1,20 @@
+//! # xtask — workspace automation for RIPQ
+//!
+//! This crate hosts `cargo xtask <task>` commands, following the
+//! [cargo-xtask](https://github.com/matklad/cargo-xtask) convention: plain
+//! Rust programs instead of shell scripts, wired up through a `.cargo/config.toml`
+//! alias so no extra tooling has to be installed.
+//!
+//! The only task today is [`lint`] — a repo-specific static-analysis gate
+//! that machine-enforces the invariants RIPQ's determinism and robustness
+//! guarantees rest on (no ambient randomness or wall clocks in library
+//! code, no unordered hash iteration in result paths, no panic paths, crate
+//! hygiene, probability hygiene). See `DESIGN.md` for the rule catalogue
+//! and the rationale behind each rule.
+//!
+//! The crate is deliberately dependency-free (the build is hermetic and
+//! vendored) and exposes its whole engine as a library so the tier-1 test
+//! suite can run the gate in-process (`tests/lint_gate.rs` at the
+//! workspace root) without shelling out to cargo.
+
+pub mod lint;

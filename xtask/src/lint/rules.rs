@@ -1,0 +1,611 @@
+//! The rule catalogue (R1–R5) and their token-level implementations.
+//!
+//! Every rule reports *candidate* violations as `(line, column, message)`
+//! triples over a scanned [`SourceFile`]; suppression comments and the
+//! static allowlist are applied by the orchestrator in [`crate::lint`].
+
+use super::source::SourceFile;
+
+/// A lint rule: stable short id, human name, one-line rationale.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable short id, e.g. `R1`.
+    pub id: &'static str,
+    /// Name used in diagnostics and `allow(...)` comments.
+    pub name: &'static str,
+    /// One-line rationale shown by `cargo xtask rules`.
+    pub summary: &'static str,
+}
+
+/// R1 — no ambient nondeterminism in library code.
+pub const NO_NONDETERMINISM: Rule = Rule {
+    id: "R1",
+    name: "no-nondeterminism",
+    summary: "ban thread_rng/from_entropy/SystemTime::now/Instant::now in library crates; \
+              randomness must flow from a seed, time from a caller or ripq-core's Clock",
+};
+
+/// R2 — no unordered hash iteration in result-producing crates.
+pub const ORDERED_ITERATION: Rule = Rule {
+    id: "R2",
+    name: "ordered-iteration",
+    summary: "HashMap/HashSet iteration order can leak into results and float sums; \
+              use BTreeMap/BTreeSet or sort immediately after",
+};
+
+/// R3 — no panic paths in non-test library code.
+pub const NO_PANIC_PATHS: Rule = Rule {
+    id: "R3",
+    name: "no-panic-paths",
+    summary: "unwrap()/expect()/panic! can take down a long-running query server; \
+              propagate RipqError or handle the case deterministically",
+};
+
+/// R4 — crate-level hygiene attributes.
+pub const CRATE_HYGIENE: Rule = Rule {
+    id: "R4",
+    name: "crate-hygiene",
+    summary: "every crate must forbid unsafe_code and lint missing_docs, either via \
+              crate-root attributes or the workspace [lints] table",
+};
+
+/// R5 — probability hygiene.
+pub const PROB_HYGIENE: Rule = Rule {
+    id: "R5",
+    name: "prob-hygiene",
+    summary: "no exact float equality against probability-carrying values and no lossy \
+              casts of probabilities",
+};
+
+/// All rules, in id order.
+pub const ALL_RULES: [&Rule; 5] = [
+    &NO_NONDETERMINISM,
+    &ORDERED_ITERATION,
+    &NO_PANIC_PATHS,
+    &CRATE_HYGIENE,
+    &PROB_HYGIENE,
+];
+
+/// A candidate violation inside one file (1-based line, 1-based column).
+#[derive(Debug)]
+pub struct Hit {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column of the offending token.
+    pub col: usize,
+    /// Human-readable description of what was matched and what to do.
+    pub message: String,
+}
+
+// ---------------------------------------------------------------------------
+// Shared token scanning helpers
+// ---------------------------------------------------------------------------
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte positions where `token` occurs in `code` with identifier boundaries
+/// on both sides. `token` itself may contain `::`.
+fn token_positions(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let tlen = token.len();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(token) {
+        let start = from + rel;
+        let end = start + tlen;
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            out.push(start);
+        }
+        from = start + 1;
+    }
+    out
+}
+
+/// A lexed token: identifier/number text or a punctuation chunk, plus its
+/// byte offset in the line.
+#[derive(Debug, PartialEq)]
+enum Tok<'a> {
+    Ident(&'a str, usize),
+    Num(&'a str, usize),
+    Punct(&'a str, usize),
+}
+
+/// Lexes one scrubbed code line into identifier, number and punctuation
+/// tokens. `==` and `!=` are kept as single tokens; every other
+/// punctuation byte stands alone.
+fn lex(code: &str) -> Vec<Tok<'_>> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Tok::Ident(&code[start..i], start));
+        } else if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+            // Fractional part — but not a `..` range operator.
+            if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
+            toks.push(Tok::Num(&code[start..i], start));
+        } else if (b == b'=' || b == b'!') && i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+            toks.push(Tok::Punct(&code[i..i + 2], i));
+            i += 2;
+        } else {
+            toks.push(Tok::Punct(&code[i..i + 1], i));
+            i += 1;
+        }
+    }
+    toks
+}
+
+fn is_float_literal(text: &str) -> bool {
+    text.contains('.')
+}
+
+// ---------------------------------------------------------------------------
+// R1 — no-nondeterminism
+// ---------------------------------------------------------------------------
+
+const R1_TOKENS: [(&str, &str); 4] = [
+    (
+        "thread_rng",
+        "ambient OS-seeded RNG; derive an explicit `StdRng` stream from the system seed instead",
+    ),
+    (
+        "from_entropy",
+        "OS-entropy RNG construction; seed explicitly (`SeedableRng::seed_from_u64`) instead",
+    ),
+    (
+        "SystemTime::now",
+        "wall-clock read; take the timestamp as an input parameter instead",
+    ),
+    (
+        "Instant::now",
+        "monotonic clock read; use `ripq_core::Clock` (TimingMode-aware) or take time as input",
+    ),
+];
+
+/// R1: flags ambient randomness / time sources in non-test code.
+pub fn check_no_nondeterminism(file: &SourceFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (token, advice) in R1_TOKENS {
+            for pos in token_positions(&line.code, token) {
+                hits.push(Hit {
+                    line: idx + 1,
+                    col: pos + 1,
+                    message: format!("`{token}` in library code — {advice}"),
+                });
+            }
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// R2 — ordered-iteration
+// ---------------------------------------------------------------------------
+
+/// Iteration methods whose visit order is the hash order.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// Collects identifiers bound to `HashMap`/`HashSet` in this file: `let`
+/// bindings, struct fields and typed parameters whose type (or
+/// initializer) *starts* with one of the hash containers. Nested
+/// containers (`Vec<Mutex<HashMap…>>`) are deliberately not collected —
+/// iterating the outer container is order-stable.
+fn hash_container_names(file: &SourceFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in &file.lines {
+        let toks = lex(&line.code);
+        for w in 0..toks.len() {
+            let container = match toks[w] {
+                Tok::Ident(t @ ("HashMap" | "HashSet"), _) => t,
+                _ => continue,
+            };
+            let _ = container;
+            if w < 2 {
+                continue;
+            }
+            // `name: HashMap<…>` (field/param/let-with-type) or
+            // `name = HashMap::new()` (inferred let binding).
+            let sep = matches!(toks[w - 1], Tok::Punct(":" | "=", _));
+            if !sep {
+                continue;
+            }
+            if let Tok::Ident(name, _) = toks[w - 2] {
+                if name != "mut" && !names.iter().any(|n| n == name) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Does any of the lines `i..i+window` contain an explicit reordering
+/// (sort call or collection into an ordered container)?
+fn sorted_nearby(file: &SourceFile, idx: usize) -> bool {
+    file.lines[idx..file.lines.len().min(idx + 3)]
+        .iter()
+        .any(|l| {
+            l.code.contains(".sort") || l.code.contains("BTreeMap") || l.code.contains("BTreeSet")
+        })
+}
+
+/// R2: flags iteration over identifiers bound to hash containers, unless
+/// an explicit sort follows within two lines.
+pub fn check_ordered_iteration(file: &SourceFile) -> Vec<Hit> {
+    let names = hash_container_names(file);
+    let mut hits = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let toks = lex(&line.code);
+        for w in 0..toks.len() {
+            // `name.iter()` / `self.name.keys()` …
+            if let Tok::Ident(method, mpos) = toks[w] {
+                if ITER_METHODS.contains(&method)
+                    && w >= 2
+                    && matches!(toks[w - 1], Tok::Punct(".", _))
+                {
+                    if let Tok::Ident(recv, _) = toks[w - 2] {
+                        if names.iter().any(|n| n == recv) && !sorted_nearby(file, idx) {
+                            hits.push(Hit {
+                                line: idx + 1,
+                                col: mpos + 1,
+                                message: format!(
+                                    "`{recv}.{method}()` iterates a hash container in \
+                                     result-producing code — hash order can leak into results \
+                                     (or float-sum rounding); use BTreeMap/BTreeSet or sort \
+                                     the collected output"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            // `for x in &name { … }` / `for x in &self.name { … }`
+            if let Tok::Ident("in", _) = toks[w] {
+                let mut v = w + 1;
+                while v < toks.len()
+                    && matches!(toks[v], Tok::Punct("&" | "(", _) | Tok::Ident("mut", _))
+                {
+                    v += 1;
+                }
+                if matches!(toks.get(v), Some(Tok::Ident("self", _)))
+                    && matches!(toks.get(v + 1), Some(Tok::Punct(".", _)))
+                {
+                    v += 2;
+                }
+                if let Some(Tok::Ident(recv, rpos)) = toks.get(v) {
+                    let followed_by_call = matches!(toks.get(v + 1), Some(Tok::Punct(".", _)));
+                    if names.iter().any(|n| n == recv)
+                        && !followed_by_call
+                        && !sorted_nearby(file, idx)
+                    {
+                        hits.push(Hit {
+                            line: idx + 1,
+                            col: rpos + 1,
+                            message: format!(
+                                "`for … in {recv}` iterates a hash container in \
+                                 result-producing code — hash order can leak into results; \
+                                 use BTreeMap/BTreeSet or sort the collected output"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// R3 — no-panic-paths
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// R3: flags `.unwrap()` / `.expect(…)` / panicking macros in non-test
+/// code. `unwrap_or*` and `expect_err`-style identifiers do not match.
+pub fn check_no_panic_paths(file: &SourceFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let toks = lex(&line.code);
+        for w in 0..toks.len() {
+            let (name, pos) = match toks[w] {
+                Tok::Ident(n, p) => (n, p),
+                _ => continue,
+            };
+            let after_dot = w >= 1 && matches!(toks[w - 1], Tok::Punct(".", _));
+            let called = matches!(toks.get(w + 1), Some(Tok::Punct("(", _)));
+            let is_macro = matches!(toks.get(w + 1), Some(Tok::Punct("!", _)));
+            if after_dot && called && (name == "unwrap" || name == "expect") {
+                hits.push(Hit {
+                    line: idx + 1,
+                    col: pos + 1,
+                    message: format!(
+                        "`.{name}(…)` in library code can panic a long-running query server — \
+                         propagate `RipqError`, use a deterministic fallback, or suppress with \
+                         a written invariant"
+                    ),
+                });
+            } else if is_macro && PANIC_MACROS.contains(&name) {
+                hits.push(Hit {
+                    line: idx + 1,
+                    col: pos + 1,
+                    message: format!(
+                        "`{name}!` in library code can panic a long-running query server — \
+                         return `RipqError` instead"
+                    ),
+                });
+            }
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// R4 — crate-hygiene
+// ---------------------------------------------------------------------------
+
+/// Does this crate manifest opt into the workspace `[lints]` table?
+pub fn manifest_inherits_workspace_lints(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for line in manifest.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+            continue;
+        }
+        if in_lints && line.starts_with("workspace") && line.contains('=') && line.contains("true")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does the workspace root manifest define `[workspace.lints.rust]` with
+/// `unsafe_code` and `missing_docs` entries?
+pub fn workspace_lints_defined(root_manifest: &str) -> bool {
+    let mut in_section = false;
+    let (mut saw_unsafe, mut saw_docs) = (false, false);
+    for line in root_manifest.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_section = line == "[workspace.lints.rust]";
+            continue;
+        }
+        if in_section {
+            if line.starts_with("unsafe_code") {
+                saw_unsafe = true;
+            }
+            if line.starts_with("missing_docs") {
+                saw_docs = true;
+            }
+        }
+    }
+    saw_unsafe && saw_docs
+}
+
+/// R4: checks one crate's hygiene. `root_src` is the crate root source
+/// (`lib.rs` / `main.rs`), if it exists.
+pub fn check_crate_hygiene(
+    manifest: &str,
+    root_src: Option<&str>,
+    workspace_lints_ok: bool,
+) -> Vec<String> {
+    if manifest_inherits_workspace_lints(manifest) {
+        if workspace_lints_ok {
+            return Vec::new();
+        }
+        return vec![
+            "crate inherits `[lints] workspace = true` but the workspace root defines no \
+             `[workspace.lints.rust]` table with `unsafe_code` and `missing_docs`"
+                .to_string(),
+        ];
+    }
+    let src = root_src.unwrap_or("");
+    let mut problems = Vec::new();
+    if !src.contains("#![forbid(unsafe_code)]") {
+        problems.push(
+            "missing `#![forbid(unsafe_code)]` at the crate root (or `[lints] workspace = true` \
+             in the crate manifest)"
+                .to_string(),
+        );
+    }
+    if !src.contains("#![deny(missing_docs)]") && !src.contains("#![warn(missing_docs)]") {
+        problems.push(
+            "missing `#![deny(missing_docs)]` / `#![warn(missing_docs)]` at the crate root (or \
+             `[lints] workspace = true` in the crate manifest)"
+                .to_string(),
+        );
+    }
+    problems
+}
+
+// ---------------------------------------------------------------------------
+// R5 — prob-hygiene
+// ---------------------------------------------------------------------------
+
+/// Is this identifier probability-carrying by naming convention?
+fn prob_like(name: &str) -> bool {
+    name.contains("prob")
+        || name.starts_with("p_")
+        || matches!(
+            name,
+            "p" | "pa" | "pb" | "pw" | "threshold" | "weight" | "mass"
+        )
+}
+
+const LOSSY_CAST_TARGETS: [&str; 11] = [
+    "f32", "i8", "i16", "i32", "i64", "isize", "u8", "u16", "u32", "u64", "usize",
+];
+
+/// R5: flags exact float (in)equality against probability-carrying values
+/// and lossy `as` casts of probabilities.
+pub fn check_prob_hygiene(file: &SourceFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let toks = lex(&line.code);
+        for w in 0..toks.len() {
+            match toks[w] {
+                Tok::Punct(op @ ("==" | "!="), pos) => {
+                    let lhs_prob = match w.checked_sub(1).map(|i| &toks[i]) {
+                        Some(Tok::Ident(n, _)) => prob_like(n),
+                        // `….probability(o) == lit` — closing paren: fall back
+                        // to a line-level check for a probability accessor.
+                        Some(Tok::Punct(")", _)) => line.code.contains("probability("),
+                        _ => false,
+                    };
+                    let rhs = toks.get(w + 1);
+                    let rhs_float = matches!(rhs, Some(Tok::Num(n, _)) if is_float_literal(n));
+                    let lhs_float = matches!(w.checked_sub(1).map(|i| &toks[i]),
+                                             Some(Tok::Num(n, _)) if is_float_literal(n));
+                    let rhs_prob = matches!(rhs, Some(Tok::Ident(n, _)) if prob_like(n));
+                    if (lhs_prob && rhs_float) || (lhs_float && rhs_prob) {
+                        hits.push(Hit {
+                            line: idx + 1,
+                            col: pos + 1,
+                            message: format!(
+                                "exact `{op}` comparison between a probability and a float \
+                                 literal — probabilities are accumulated floats; compare with \
+                                 an epsilon or restructure, or suppress with a written reason"
+                            ),
+                        });
+                    }
+                }
+                Tok::Ident("as", pos) => {
+                    let src_prob = matches!(w.checked_sub(1).map(|i| &toks[i]),
+                                            Some(Tok::Ident(n, _)) if prob_like(n));
+                    let lossy = matches!(toks.get(w + 1),
+                                         Some(Tok::Ident(t, _)) if LOSSY_CAST_TARGETS.contains(t));
+                    if src_prob && lossy {
+                        hits.push(Hit {
+                            line: idx + 1,
+                            col: pos + 1,
+                            message: "lossy `as` cast of a probability-carrying value — keep \
+                                      probabilities in f64 end to end"
+                                .to_string(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(src)
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert_eq!(token_positions("thread_rng()", "thread_rng").len(), 1);
+        assert_eq!(token_positions("my_thread_rng()", "thread_rng").len(), 0);
+        assert_eq!(token_positions("Instant::now()", "Instant::now").len(), 1);
+        assert_eq!(token_positions("MyInstant::now()", "Instant::now").len(), 0);
+    }
+
+    #[test]
+    fn r1_ignores_comments_and_tests() {
+        let f = parse("// thread_rng in comment\nfn f() { let r = thread_rng(); }\n");
+        assert_eq!(check_no_nondeterminism(&f).len(), 1);
+        let f = parse("#[cfg(test)]\nmod t { fn f() { let r = thread_rng(); } }\n");
+        assert!(check_no_nondeterminism(&f).is_empty());
+    }
+
+    #[test]
+    fn r2_detects_declared_containers_only() {
+        let f = parse("let m: HashMap<u32, f64> = HashMap::new();\nfor v in m.values() {}\n");
+        assert_eq!(check_ordered_iteration(&f).len(), 1);
+        let f = parse("let v: Vec<u32> = vec![];\nfor x in v.iter() { }\n");
+        assert!(check_ordered_iteration(&f).is_empty());
+    }
+
+    #[test]
+    fn r2_sort_window_exempts() {
+        let f = parse(
+            "let m: HashMap<u32, f64> = HashMap::new();\n\
+             let mut v: Vec<_> = m.iter().collect();\n\
+             v.sort();\n",
+        );
+        assert!(check_ordered_iteration(&f).is_empty());
+    }
+
+    #[test]
+    fn r3_matches_panics_not_fallbacks() {
+        let f = parse("let x = o.unwrap();\nlet y = o.unwrap_or(0);\nlet z = o.expect(\"m\");\n");
+        assert_eq!(check_no_panic_paths(&f).len(), 2);
+        let f = parse("panic!(\"boom\");\nassert!(x > 0);\n");
+        assert_eq!(check_no_panic_paths(&f).len(), 1);
+    }
+
+    #[test]
+    fn r4_accepts_attrs_or_inheritance() {
+        let attrs = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n";
+        assert!(check_crate_hygiene("[package]\nname = \"x\"", Some(attrs), false).is_empty());
+        let inherit = "[package]\nname = \"x\"\n[lints]\nworkspace = true\n";
+        assert!(check_crate_hygiene(inherit, None, true).is_empty());
+        assert_eq!(check_crate_hygiene(inherit, None, false).len(), 1);
+        assert_eq!(
+            check_crate_hygiene("[package]\nname = \"x\"", Some(""), true).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn r5_flags_exact_equality_and_lossy_casts() {
+        let f = parse("if p != 0.0 { }\nif weight == 1.0 { }\nif offset == 0.0 { }\n");
+        assert_eq!(check_prob_hygiene(&f).len(), 2);
+        let f = parse("let q = prob as f32;\nlet r = count as f64;\n");
+        assert_eq!(check_prob_hygiene(&f).len(), 1);
+        // Threshold *ordering* comparisons are fine.
+        let f = parse("if prob >= threshold { }\n");
+        assert!(check_prob_hygiene(&f).is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! A lossy, line-oriented model of a Rust source file.
+//!
+//! The lint rules are token-level, not AST-level: they need to know what
+//! text is *code* (as opposed to comments and string-literal contents),
+//! which lines belong to `#[cfg(test)]` regions, and which suppression
+//! comments are in force. This module computes exactly that with a small
+//! hand-rolled scanner — no syn, no proc-macro machinery — because the
+//! build environment is hermetic and the rules only ever match identifier
+//! tokens and simple punctuation patterns.
+//!
+//! Known (accepted) approximations, chosen to keep the scanner dependency
+//! free and obviously correct:
+//!
+//! * char literals containing `'{'`/`'}'` are scrubbed, so they cannot
+//!   corrupt brace tracking; lifetimes are passed through as code;
+//! * a `#[cfg(test)]` attribute marks everything up to the end of the
+//!   brace block that follows it (the idiomatic trailing `mod tests`
+//!   layout), or up to a `;` for non-block items;
+//! * doc comments count as comments — code inside ``` fences is never
+//!   linted (rustdoc examples are test code in spirit).
+
+/// One parsed suppression, from a comment of the form
+/// `ripq-lint: allow(rule-a, rule-b) -- reason text`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule name inside `allow(...)`, e.g. `no-panic-paths`.
+    pub rule: String,
+    /// The justification after ` -- `. A suppression without a reason does
+    /// **not** suppress — the gate requires every exception to be written
+    /// down.
+    pub reason: Option<String>,
+}
+
+/// One line of a scanned source file.
+#[derive(Debug)]
+pub struct Line {
+    /// The line exactly as it appears in the file.
+    pub raw: String,
+    /// The line with comments and string/char-literal *contents* replaced
+    /// by spaces. Byte offsets are preserved, so a match column in `code`
+    /// is a match column in `raw`.
+    pub code: String,
+    /// Concatenated comment text of the line (line + block comments).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+    /// Suppressions declared on this line's comment.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// The scanned lines, in file order.
+    pub lines: Vec<Line>,
+}
+
+/// Scanner state that persists across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside a (nesting) block comment.
+    Block(u32),
+    /// Inside a normal string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + n `#`s.
+    RawStr(u8),
+}
+
+impl SourceFile {
+    /// Scans `text` into lines with code/comment separation, test-region
+    /// marking and suppression extraction.
+    pub fn parse(text: &str) -> SourceFile {
+        let mut state = State::Code;
+        let mut lines = Vec::new();
+        for raw in text.lines() {
+            let (code, comment, next) = scrub_line(raw, state);
+            state = next;
+            let suppressions = parse_suppressions(&comment);
+            lines.push(Line {
+                raw: raw.to_string(),
+                code,
+                comment,
+                in_test: false,
+                suppressions,
+            });
+        }
+        mark_test_regions(&mut lines);
+        SourceFile { lines }
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Was the `"` at byte `i` preceded by a raw-string intro (`r`, `br`,
+/// `r#...#`)? Returns the number of `#`s.
+fn raw_string_intro(bytes: &[u8], i: usize) -> Option<u8> {
+    let mut j = i;
+    let mut hashes = 0u8;
+    while j > 0 && bytes[j - 1] == b'#' {
+        j -= 1;
+        hashes = hashes.saturating_add(1);
+    }
+    if j == 0 || bytes[j - 1] != b'r' {
+        return None;
+    }
+    j -= 1;
+    if j > 0 && bytes[j - 1] == b'b' {
+        j -= 1;
+    }
+    // `r` must start the identifier (`var"` / `har#"` are not raw strings).
+    if j > 0 && is_ident_byte(bytes[j - 1]) {
+        return None;
+    }
+    Some(hashes)
+}
+
+/// Scrubs one line: returns (code-with-blanks, comment text, next state).
+fn scrub_line(raw: &str, mut state: State) -> (String, String, State) {
+    let bytes = raw.as_bytes();
+    let n = bytes.len();
+    let mut code = vec![b' '; n];
+    let mut comment: Vec<u8> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        match state {
+            State::Block(depth) => {
+                if bytes[i..].starts_with(b"*/") {
+                    state = if depth <= 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                } else if bytes[i..].starts_with(b"/*") {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if bytes[i] == b'\\' {
+                    i += 2; // skip the escaped byte (may run past end: ok)
+                } else if bytes[i] == b'"' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(h) => {
+                let h = h as usize;
+                if bytes[i] == b'"'
+                    && bytes[i + 1..].len() >= h
+                    && bytes[i + 1..i + 1 + h].iter().all(|&b| b == b'#')
+                {
+                    state = State::Code;
+                    i += 1 + h;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Code => {
+                if bytes[i..].starts_with(b"//") {
+                    comment.extend_from_slice(&bytes[i + 2..]);
+                    i = n;
+                } else if bytes[i..].starts_with(b"/*") {
+                    state = State::Block(1);
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    state = match raw_string_intro(bytes, i) {
+                        Some(h) => State::RawStr(h),
+                        None => State::Str,
+                    };
+                    i += 1;
+                } else if bytes[i] == b'\'' {
+                    // Char literal vs lifetime.
+                    if i + 1 < n && bytes[i + 1] == b'\\' {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 3;
+                        while j < n && bytes[j] != b'\'' {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    } else if i + 2 < n && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
+                        i += 3; // 'x'
+                    } else {
+                        code[i] = b'\''; // lifetime: keep as code
+                        i += 1;
+                    }
+                } else {
+                    code[i] = bytes[i];
+                    i += 1;
+                }
+            }
+        }
+    }
+    (
+        String::from_utf8_lossy(&code).into_owned(),
+        String::from_utf8_lossy(&comment).into_owned(),
+        state,
+    )
+}
+
+/// Extracts `ripq-lint: allow(rule, ...) -- reason` suppressions from one
+/// line's comment text.
+pub fn parse_suppressions(comment: &str) -> Vec<Suppression> {
+    const MARKER: &str = "ripq-lint:";
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(MARKER) {
+        let after = rest[pos + MARKER.len()..].trim_start();
+        if let Some(args) = after.strip_prefix("allow(") {
+            if let Some(close) = args.find(')') {
+                let reason = args[close + 1..]
+                    .trim_start()
+                    .strip_prefix("--")
+                    .map(|r| r.trim().to_string())
+                    .filter(|r| !r.is_empty());
+                for rule in args[..close].split(',') {
+                    let rule = rule.trim();
+                    if !rule.is_empty() {
+                        out.push(Suppression {
+                            rule: rule.to_string(),
+                            reason: reason.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        rest = &rest[pos + MARKER.len()..];
+    }
+    out
+}
+
+/// Marks lines belonging to `#[cfg(test)]` / `#[test]` regions by tracking
+/// brace depth over the scrubbed code.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    // Depths at which an active test region was opened.
+    let mut regions: Vec<i64> = Vec::new();
+    for line in lines.iter_mut() {
+        if line.code.contains("#[cfg(test)]")
+            || line.code.contains("#[cfg(all(test")
+            || line.code.contains("#[cfg(any(test")
+            || line.code.contains("#[test]")
+        {
+            pending_attr = true;
+        }
+        let mut in_test = pending_attr || !regions.is_empty();
+        for b in line.code.bytes() {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    if pending_attr {
+                        regions.push(depth);
+                        pending_attr = false;
+                    }
+                }
+                b'}' => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                b';' if pending_attr => {
+                    // `#[cfg(test)] use …;` — attribute on a non-block item.
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+        }
+        in_test = in_test || !regions.is_empty();
+        line.in_test = in_test;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let f = SourceFile::parse("let x = 1; // thread_rng here\n/* Instant::now */ let y;\n");
+        assert!(!f.lines[0].code.contains("thread_rng"));
+        assert!(f.lines[0].comment.contains("thread_rng"));
+        assert!(!f.lines[1].code.contains("Instant"));
+        assert!(f.lines[1].code.contains("let y;"));
+    }
+
+    #[test]
+    fn strips_string_contents_preserving_offsets() {
+        let f = SourceFile::parse(r#"let s = "x.unwrap() inside"; s.len();"#);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("s.len()"));
+        assert_eq!(f.lines[0].code.len(), f.lines[0].raw.len());
+    }
+
+    #[test]
+    fn raw_strings_and_multiline_blocks() {
+        let src = "let s = r#\"panic!(\"#;\n/* panic!\nstill comment */ let ok = 1;\n";
+        let f = SourceFile::parse(src);
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(!f.lines[1].code.contains("panic"));
+        assert!(f.lines[2].code.contains("let ok"));
+    }
+
+    #[test]
+    fn char_literals_do_not_break_brace_tracking() {
+        let src = "fn f() { let c = '{'; }\n#[cfg(test)]\nmod tests { fn g() {} }\nfn h() {}\n";
+        let f = SourceFile::parse(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[3].in_test, "test region closed before h()");
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse helper::x;\nfn live() {}\n";
+        let f = SourceFile::parse(src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn suppression_parsing() {
+        let s = parse_suppressions(" ripq-lint: allow(no-panic-paths) -- held invariant");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rule, "no-panic-paths");
+        assert_eq!(s[0].reason.as_deref(), Some("held invariant"));
+
+        let s = parse_suppressions(" ripq-lint: allow(a, b)");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].reason.is_none(), "missing ` -- reason` is recorded");
+
+        assert!(parse_suppressions("nothing to see").is_empty());
+    }
+
+    #[test]
+    fn lifetimes_survive_scrubbing() {
+        let f = SourceFile::parse("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(f.lines[0].code.contains("'a"));
+    }
+}

@@ -1,0 +1,75 @@
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! ```text
+//! cargo xtask lint [--json] [--root <path>]   run the static-analysis gate
+//! cargo xtask rules                           list the rule catalogue
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::lint;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask <task>\n\n\
+         tasks:\n  \
+         lint [--json] [--root <path>]   run the repo lint gate (exit 1 on violations)\n  \
+         rules                           list lint rules with their rationale"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let mut json = false;
+            let mut root: Option<PathBuf> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--root" => match it.next() {
+                        Some(p) => root = Some(PathBuf::from(p)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let root = root.or_else(|| {
+                let cwd = std::env::current_dir().ok()?;
+                lint::find_workspace_root(&cwd)
+            });
+            let Some(root) = root else {
+                eprintln!("error: could not locate the workspace root (try --root <path>)");
+                return ExitCode::FAILURE;
+            };
+            match lint::run(&root) {
+                Ok(report) => {
+                    if json {
+                        print!("{}", report.render_json());
+                    } else {
+                        print!("{}", report.render_text());
+                    }
+                    if report.active().next().is_some() {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("rules") => {
+            for rule in lint::rules::ALL_RULES {
+                println!("{} {:<20} {}", rule.id, rule.name, rule.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,53 @@
+//! Fire fixture: every line rule must produce at least one ACTIVE
+//! diagnostic in this file. Expected: R1 ×2, R2 ×2, R3 ×3, R5 ×2.
+
+use std::collections::HashMap;
+
+pub struct Tally {
+    counts: HashMap<u32, u64>,
+}
+
+impl Tally {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_, v) in &self.counts {
+            sum += v;
+        }
+        sum
+    }
+
+    pub fn keys_unsorted(&self) -> Vec<u32> {
+        self.counts.keys().copied().collect()
+    }
+}
+
+pub fn seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn elapsed_secs() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs()
+}
+
+pub fn risky(v: Option<u32>) -> u32 {
+    // ripq-lint: allow(no-panic-paths)
+    v.unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn boom() {
+    panic!("nope");
+}
+
+pub fn is_certain(prob: f64) -> bool {
+    prob == 1.0
+}
+
+pub fn quantize(prob: f64) -> f32 {
+    prob as f32
+}

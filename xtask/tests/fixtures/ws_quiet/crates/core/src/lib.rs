@@ -1,0 +1,59 @@
+//! Quiet fixture: no rule may produce an active diagnostic here, even
+//! though the file exercises RNG, timing, hash containers, fallible
+//! accessors and probability comparisons. Expected: 2 suppressed
+//! diagnostics (one R1, one R3), zero active.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Deterministic RNG from an explicit seed: R1 quiet.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Ordered container iteration: R2 quiet.
+pub fn ordered_sum(map: &BTreeMap<u32, f64>) -> f64 {
+    map.values().sum()
+}
+
+/// Hash iteration is fine when the collected output is sorted right after.
+pub fn sorted_keys() -> Vec<u32> {
+    let mut scratch = HashMap::new();
+    scratch.insert(1u32, 2u64);
+    let mut keys: Vec<u32> = scratch.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// A suppressed wall-clock read with a written reason.
+pub fn sanctioned_now() -> std::time::Instant {
+    // ripq-lint: allow(no-nondeterminism) -- fixture: documents the suppression syntax with a reason
+    std::time::Instant::now()
+}
+
+/// `unwrap_or` is panic-free and does not trip R3.
+pub fn fallback(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+/// A suppressed expect with a written invariant.
+pub fn head(v: &[u32]) -> u32 {
+    // ripq-lint: allow(no-panic-paths) -- fixture: callers guarantee non-empty input
+    *v.first().expect("non-empty")
+}
+
+/// Epsilon comparison keeps R5 quiet.
+pub fn is_certain(prob: f64) -> bool {
+    (prob - 1.0).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_and_timing_in_tests_are_exempt() {
+        assert_eq!(Some(3).unwrap(), 3);
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,1 @@
+//! Quiet fixture workspace root: nothing to flag.

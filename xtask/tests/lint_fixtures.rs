@@ -1,0 +1,82 @@
+//! End-to-end fixture coverage for the lint gate: every rule must FIRE
+//! on the `ws_fire` fixture workspace and stay QUIET on `ws_quiet`,
+//! including the suppression mechanics (a reasoned suppression silences,
+//! a reasonless one does not).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use xtask::lint::{self, DiagStatus};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn every_rule_fires_on_the_fire_workspace() {
+    let report = lint::run(&fixture_root("ws_fire")).expect("lint pass runs");
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in report.active() {
+        *by_rule.entry(d.rule_id).or_insert(0) += 1;
+    }
+    // R1: thread_rng + Instant::now. R2: for-loop over a HashMap field +
+    // .keys(). R3: reasonless-suppressed unwrap + expect + panic!.
+    // R4: virtual root manifest (2 problems) + crate manifest (2).
+    // R5: exact == against a literal + lossy `as f32` cast.
+    assert_eq!(by_rule.get("R1"), Some(&2), "{by_rule:?}");
+    assert_eq!(by_rule.get("R2"), Some(&2), "{by_rule:?}");
+    assert_eq!(by_rule.get("R3"), Some(&3), "{by_rule:?}");
+    assert_eq!(by_rule.get("R4"), Some(&4), "{by_rule:?}");
+    assert_eq!(by_rule.get("R5"), Some(&2), "{by_rule:?}");
+    // A suppression without ` -- reason` does not suppress, and the
+    // diagnostic explains why.
+    assert!(
+        report
+            .active()
+            .any(|d| d.message.contains("lacks the required")),
+        "reasonless suppression must stay active with an explanatory note"
+    );
+    // Nothing in the fixture is suppressed or allowlisted.
+    let (_, suppressed, allowed) = report.counts();
+    assert_eq!((suppressed, allowed), (0, 0));
+}
+
+#[test]
+fn quiet_workspace_passes_with_reasoned_suppressions() {
+    let report = lint::run(&fixture_root("ws_quiet")).expect("lint pass runs");
+    let active: Vec<String> = report
+        .active()
+        .map(|d| format!("{}:{} [{}] {}", d.file, d.line, d.rule_id, d.message))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "unexpected active diagnostics:\n{active:#?}"
+    );
+    // The two reasoned suppressions (R1 wall-clock, R3 expect) are
+    // recorded — not dropped — and carry their reasons through.
+    let reasons: Vec<&String> = report
+        .diags
+        .iter()
+        .filter_map(|d| match &d.status {
+            DiagStatus::Suppressed(r) => Some(r),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reasons.len(), 2, "{reasons:?}");
+    assert!(reasons.iter().all(|r| r.contains("fixture")));
+}
+
+#[test]
+fn text_and_json_renderings_carry_the_diagnostics() {
+    let report = lint::run(&fixture_root("ws_fire")).expect("lint pass runs");
+    let text = report.render_text();
+    assert!(text.contains("error[R1/no-nondeterminism]"), "{text}");
+    assert!(text.contains("crates/core/src/lib.rs:"), "{text}");
+    assert!(text.contains("files scanned"), "{text}");
+    let json = report.render_json();
+    assert!(json.contains("\"diagnostics\""), "{json}");
+    assert!(json.contains("\"rule\": \"R5\""), "{json}");
+    assert!(json.contains("\"status\": \"active\""), "{json}");
+    assert!(json.contains("\"files_scanned\""), "{json}");
+}
