@@ -10,6 +10,7 @@ use ripq_core::{evaluate_knn, evaluate_range, KnnQuery, QueryId};
 use ripq_floorplan::{office_building, OfficeParams};
 use ripq_geom::{Point2, Rect};
 use ripq_graph::{build_walking_graph, AnchorObjectIndex, AnchorSet};
+use ripq_obs::Recorder;
 use ripq_pf::{
     resample_indices, Heading, IndoorState, MotionModel, ParticlePreprocessor, PreprocessorConfig,
 };
@@ -143,17 +144,25 @@ fn bench_preprocess(c: &mut Criterion) {
     });
 }
 
-/// Sequential vs. parallel Algorithm 2 over a 200-object workload.
+/// Sequential vs. parallel Algorithm 2 over a 200-object workload, with
+/// the metrics recorder off and on.
 ///
 /// Every parallelism setting produces bit-identical output (each object
 /// filters on its own deterministic RNG stream), so the group measures
-/// pure wall-clock scaling of the worker fan-out.
+/// pure wall-clock scaling of the worker fan-out. The `obs-on` variants
+/// quantify the observability tax (atomic adds on shared handles); the
+/// explicit delta line below the group makes the overhead visible at a
+/// glance.
 fn bench_preprocess_parallel(c: &mut Criterion) {
     let plan = office_building(&OfficeParams::default()).unwrap();
     let graph = build_walking_graph(&plan);
     let anchors = AnchorSet::generate(&graph, &plan, 1.0);
     let readers = deploy_uniform(&plan, &graph, 19, 2.0);
     let pre = ParticlePreprocessor::new(&graph, &anchors, &readers, PreprocessorConfig::default());
+    let recorder = Recorder::enabled();
+    let pre_obs =
+        ParticlePreprocessor::new(&graph, &anchors, &readers, PreprocessorConfig::default())
+            .with_recorder(&recorder);
     // 200 objects, each with a 30-second history past a couple of readers.
     let mut collector = DataCollector::new();
     for s in 0..30u64 {
@@ -172,7 +181,7 @@ fn bench_preprocess_parallel(c: &mut Criterion) {
     for workers in [1usize, 2, 4] {
         let parallelism = if workers == 1 { None } else { Some(workers) };
         group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
+            BenchmarkId::new("obs-off", workers),
             &parallelism,
             |b, &par| {
                 b.iter(|| {
@@ -187,8 +196,42 @@ fn bench_preprocess_parallel(c: &mut Criterion) {
                 })
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new("obs-on", workers),
+            &parallelism,
+            |b, &par| {
+                b.iter(|| {
+                    black_box(pre_obs.process_streamed(
+                        0x5eed,
+                        &collector,
+                        black_box(&objects),
+                        30,
+                        None,
+                        par,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
+
+    // Paired measurement of the observability tax (sequential path, so the
+    // delta is not hidden inside thread scheduling noise).
+    let reps = 5u32;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        black_box(pre.process_streamed(0x5eed, &collector, &objects, 30, None, None));
+    }
+    let off = t0.elapsed() / reps;
+    let t1 = std::time::Instant::now();
+    for _ in 0..reps {
+        black_box(pre_obs.process_streamed(0x5eed, &collector, &objects, 30, None, None));
+    }
+    let on = t1.elapsed() / reps;
+    let delta = (on.as_secs_f64() - off.as_secs_f64()) / off.as_secs_f64() * 100.0;
+    println!(
+        "preprocess_200obj observability overhead: off={off:.2?} on={on:.2?} delta={delta:+.2}%"
+    );
 }
 
 fn bench_symbolic_index(c: &mut Criterion) {

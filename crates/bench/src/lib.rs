@@ -266,7 +266,7 @@ pub fn run_fig13(scale: Scale) -> Vec<FigureRow> {
 }
 
 /// One row of the performance-scaling sweep.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PerfRow {
     /// Number of tracked objects.
     pub objects: usize,
@@ -277,6 +277,11 @@ pub struct PerfRow {
     pub preprocessing: std::time::Duration,
     /// Candidates preprocessed in the measured pass.
     pub candidates: usize,
+    /// Pipeline metrics snapshot from an untimed shadow pass with
+    /// observability enabled — the timed passes above run with the
+    /// recorder off, so the latency numbers stay free of the (small)
+    /// observability tax.
+    pub metrics: ripq_obs::MetricsSnapshot,
 }
 
 /// Measures end-to-end evaluation latency of the system facade as the
@@ -297,19 +302,28 @@ pub fn run_perf(scale: Scale) -> Vec<PerfRow> {
     };
     let mut rows = Vec::new();
     for &n in counts {
-        let plan = office_building(&OfficeParams::default()).expect("valid");
-        let mut sys = IndoorQuerySystem::new(plan, SystemConfig::default(), 17);
-        let reader_ids: Vec<_> = sys.readers().iter().map(|r| r.id()).collect();
-        for s in 0..20u64 {
-            let det: Vec<_> = (0..n as u32)
-                .map(|i| (ObjectId::new(i), reader_ids[((i + s as u32) % 19) as usize]))
-                .collect();
-            sys.ingest_detections(s, &det);
-        }
-        let center = sys.plan().bounds().center();
-        sys.register_range(Rect::centered(center, 12.0, 10.0))
-            .expect("valid window");
-        sys.register_knn(center, 3).expect("valid k");
+        let build_system = |observability: bool| {
+            let plan = office_building(&OfficeParams::default()).expect("valid");
+            let config = SystemConfig {
+                observability,
+                ..SystemConfig::default()
+            };
+            let mut sys = IndoorQuerySystem::new(plan, config, 17);
+            let reader_ids: Vec<_> = sys.readers().iter().map(|r| r.id()).collect();
+            for s in 0..20u64 {
+                let det: Vec<_> = (0..n as u32)
+                    .map(|i| (ObjectId::new(i), reader_ids[((i + s as u32) % 19) as usize]))
+                    .collect();
+                sys.ingest_detections(s, &det);
+            }
+            let center = sys.plan().bounds().center();
+            sys.register_range(Rect::centered(center, 12.0, 10.0))
+                .expect("valid window");
+            sys.register_knn(center, 3).expect("valid k");
+            sys
+        };
+
+        let mut sys = build_system(false);
         // Warm the cache with one pass, then time a few.
         let _ = sys.evaluate(20);
         let reps = 5u64;
@@ -324,11 +338,23 @@ pub fn run_perf(scale: Scale) -> Vec<PerfRow> {
             pre += report.timings.preprocessing;
             candidates = report.candidates_processed;
         }
+
+        // Shadow pass with the recorder on: same workload, untimed, so the
+        // snapshot rides along without polluting the latency columns.
+        let mut shadow = build_system(true);
+        let _ = shadow.evaluate(20);
+        shadow.ingest_detections(21, &[]);
+        let metrics = shadow
+            .evaluate(21)
+            .metrics
+            .expect("observability on yields a snapshot");
+
         rows.push(PerfRow {
             objects: n,
             evaluate: total / reps as u32,
             preprocessing: pre / reps as u32,
             candidates,
+            metrics,
         });
     }
     rows
@@ -385,6 +411,9 @@ mod tests {
             assert!(r.evaluate.as_nanos() > 0);
             assert!(r.preprocessing <= r.evaluate);
             assert!(r.candidates <= r.objects);
+            // The shadow pass delivers a populated snapshot.
+            assert!(r.metrics.counters.contains_key("pf.sir_iterations"));
+            assert!(r.metrics.spans.contains_key("evaluate"));
         }
         // Latency grows with population (within generous slack).
         assert!(rows[2].evaluate >= rows[0].evaluate / 2);

@@ -55,4 +55,5 @@ pub use ptknn::{evaluate_ptknn, PtknnQuery};
 pub use query::{KnnQuery, QueryId, RangeQuery};
 pub use range_eval::evaluate_range;
 pub use result::{ProbResult, ResultSet};
+pub use ripq_obs::{MetricsSnapshot, Recorder};
 pub use system::{EvaluationReport, EvaluationTimings, IndoorQuerySystem, SystemConfig};

@@ -14,6 +14,7 @@ use ripq_graph::{
     build_walking_graph, AnchorObjectIndex, AnchorSet, ShortestPathCache, ShortestPaths,
     WalkingGraph,
 };
+use ripq_obs::{MetricsSnapshot, Recorder};
 use ripq_pf::{CacheStats, ParticleCache, ParticlePreprocessor, PreprocessorConfig};
 use ripq_rfid::{deploy_uniform, DataCollector, ObjectId, RawReading, Reader, ReaderId};
 use serde::{Deserialize, Serialize};
@@ -52,6 +53,12 @@ pub struct SystemConfig {
     /// deterministic tick counter so whole reports are bit-identical
     /// across runs.
     pub timing: TimingMode,
+    /// Collect pipeline metrics (`ripq_obs`). When on, every
+    /// [`EvaluationReport`] carries a cumulative [`MetricsSnapshot`];
+    /// under [`TimingMode::Logical`] the snapshot is bit-identical
+    /// across runs and worker counts. Off (default) the recorder is
+    /// disabled and every instrument point is a no-op branch.
+    pub observability: bool,
 }
 
 impl Default for SystemConfig {
@@ -67,6 +74,7 @@ impl Default for SystemConfig {
             ptknn_rounds: 200,
             parallelism: None,
             timing: TimingMode::Wall,
+            observability: false,
         }
     }
 }
@@ -110,6 +118,9 @@ pub struct EvaluationReport {
     pub cache_stats: CacheStats,
     /// Wall-clock breakdown of this pass.
     pub timings: EvaluationTimings,
+    /// Cumulative pipeline metrics since system construction —
+    /// `Some` iff [`SystemConfig::observability`] is on.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// The RFID + particle-filter indoor spatial query evaluation system.
@@ -128,6 +139,7 @@ pub struct IndoorQuerySystem {
     collector: DataCollector,
     cache: ParticleCache,
     config: SystemConfig,
+    recorder: Recorder,
     rng: StdRng,
     /// Memoized Dijkstra trees keyed by source position, shared by query
     /// registration and per-pass candidate pruning.
@@ -154,14 +166,18 @@ impl IndoorQuerySystem {
         let graph = build_walking_graph(&plan);
         let anchors = AnchorSet::generate(&graph, &plan, config.anchor_spacing);
         let readers = deploy_uniform(&plan, &graph, config.reader_count, config.activation_range);
+        let recorder = Recorder::from_flag(config.observability);
+        let mut collector = DataCollector::new();
+        collector.set_recorder(&recorder);
         IndoorQuerySystem {
             plan,
             graph,
             anchors,
             readers,
-            collector: DataCollector::new(),
+            collector,
             cache: ParticleCache::new(),
             config,
+            recorder,
             rng: StdRng::seed_from_u64(seed),
             sp_cache: ShortestPathCache::new(),
             range_queries: BTreeMap::new(),
@@ -291,7 +307,8 @@ impl IndoorQuerySystem {
         let t_start = clock.now();
         let objects_known = self.collector.objects().count();
 
-        // 1. Query-aware optimization (§4.3).
+        // 1. Query-aware optimization (§4.3). Per-rule counters record
+        // how many candidates each pruning rule admitted (pre-dedup).
         let t_prune = clock.now();
         let candidates: Vec<ObjectId> = if self.config.prune_candidates {
             let windows: Vec<Rect> = self.range_queries.values().map(|q| q.window).collect();
@@ -302,8 +319,11 @@ impl IndoorQuerySystem {
                 now,
                 self.config.max_speed,
             );
+            self.recorder
+                .add("optimizer.candidates_rule_range", c.len() as u64);
+            let mut from_knn = 0u64;
             for (id, q) in &self.knn_queries {
-                c.extend(prune_knn_candidates_with_paths(
+                let picked = prune_knn_candidates_with_paths(
                     &self.graph,
                     &self.collector,
                     &self.readers,
@@ -311,11 +331,15 @@ impl IndoorQuerySystem {
                     now,
                     self.config.max_speed,
                     &self.knn_paths[id],
-                ));
+                );
+                from_knn += picked.len() as u64;
+                c.extend(picked);
             }
+            self.recorder.add("optimizer.candidates_rule_knn", from_knn);
             // PTkNN pruning reuses the kNN bound; closest-pairs queries
             // are global and keep every object. The Dijkstra tree of each
             // fixed query point is memoized across passes.
+            let mut from_ptknn = 0u64;
             for q in self.ptknn_queries.values() {
                 let as_knn = KnnQuery {
                     id: QueryId::new(u32::MAX),
@@ -325,7 +349,7 @@ impl IndoorQuerySystem {
                 let sp = self
                     .sp_cache
                     .paths(&self.graph, self.graph.project(q.point));
-                c.extend(prune_knn_candidates_with_paths(
+                let picked = prune_knn_candidates_with_paths(
                     &self.graph,
                     &self.collector,
                     &self.readers,
@@ -333,10 +357,19 @@ impl IndoorQuerySystem {
                     now,
                     self.config.max_speed,
                     &sp,
-                ));
+                );
+                from_ptknn += picked.len() as u64;
+                c.extend(picked);
             }
+            self.recorder
+                .add("optimizer.candidates_rule_ptknn", from_ptknn);
             if !self.closest_pairs_queries.is_empty() {
+                let before = c.len();
                 c.extend(self.collector.objects());
+                self.recorder.add(
+                    "optimizer.candidates_rule_closest_pairs",
+                    (c.len() - before) as u64,
+                );
             }
             c.sort_unstable();
             c.dedup();
@@ -346,8 +379,17 @@ impl IndoorQuerySystem {
             c.sort_unstable();
             c
         };
+        self.recorder
+            .set_gauge("optimizer.objects_known", objects_known as u64);
+        self.recorder
+            .set_gauge("optimizer.candidates", candidates.len() as u64);
+        self.recorder.set_gauge(
+            "optimizer.pruned",
+            objects_known.saturating_sub(candidates.len()) as u64,
+        );
 
         let pruning = clock.since(t_prune);
+        self.recorder.record_span("evaluate/prune", pruning);
 
         // 2. Particle-filter preprocessing (§4.4) + cache (§4.5).
         // One pass seed is drawn from the master RNG; every candidate then
@@ -361,7 +403,8 @@ impl IndoorQuerySystem {
             &self.anchors,
             &self.readers,
             self.config.preprocess,
-        );
+        )
+        .with_recorder(&self.recorder);
         let cache = self.config.use_cache.then(|| self.cache.shared());
         let index = preprocessor.process_streamed(
             pass_seed,
@@ -372,26 +415,44 @@ impl IndoorQuerySystem {
             self.config.parallelism,
         );
         let preprocessing = clock.since(t_pre);
+        self.recorder
+            .record_span("evaluate/preprocess", preprocessing);
 
-        // 3. Query evaluation (§4.6).
+        // 3. Query evaluation (§4.6). With observability on, each query
+        // records a span under its algorithm's path — Algorithm 3 is
+        // `range`, Algorithm 4 is `knn` — timed by the same clock as the
+        // coarse timings (extra clock reads only happen when enabled, so
+        // the disabled hot path is untouched).
+        let obs_on = self.recorder.is_enabled();
         let t_eval = clock.now();
         let mut range_results = BTreeMap::new();
         for (id, q) in &self.range_queries {
+            let t_q = obs_on.then(|| clock.now());
             range_results.insert(
                 *id,
                 evaluate_range(&self.plan, &self.anchors, &index, &q.window),
             );
+            if let Some(t_q) = t_q {
+                self.recorder
+                    .record_span("evaluate/queries/range", clock.since(t_q));
+            }
         }
         let mut knn_results = BTreeMap::new();
         for (id, q) in &self.knn_queries {
             let sp = &self.knn_paths[id];
+            let t_q = obs_on.then(|| clock.now());
             knn_results.insert(
                 *id,
                 evaluate_knn_with_paths(&self.graph, &self.anchors, &index, q, sp),
             );
+            if let Some(t_q) = t_q {
+                self.recorder
+                    .record_span("evaluate/queries/knn", clock.since(t_q));
+            }
         }
         let mut ptknn_results = BTreeMap::new();
         for (id, q) in &self.ptknn_queries {
+            let t_q = obs_on.then(|| clock.now());
             ptknn_results.insert(
                 *id,
                 evaluate_ptknn(
@@ -403,16 +464,46 @@ impl IndoorQuerySystem {
                     self.config.ptknn_rounds,
                 ),
             );
+            if let Some(t_q) = t_q {
+                self.recorder
+                    .record_span("evaluate/queries/ptknn", clock.since(t_q));
+            }
         }
         let mut closest_pairs_results = BTreeMap::new();
         for (id, q) in &self.closest_pairs_queries {
+            let t_q = obs_on.then(|| clock.now());
             closest_pairs_results.insert(
                 *id,
                 evaluate_closest_pairs(&self.graph, &self.anchors, &index, q),
             );
+            if let Some(t_q) = t_q {
+                self.recorder
+                    .record_span("evaluate/queries/closest_pairs", clock.since(t_q));
+            }
         }
 
         let evaluation = clock.since(t_eval);
+        self.recorder.record_span("evaluate/queries", evaluation);
+
+        // Cache-manager and shortest-path-cache levels, mirrored as
+        // gauges from this single-threaded point.
+        let cache_stats = self.cache.stats();
+        if obs_on {
+            self.recorder.set_gauge("cache.hits", cache_stats.hits);
+            self.recorder.set_gauge("cache.misses", cache_stats.misses);
+            self.recorder
+                .set_gauge("cache.invalidations", cache_stats.invalidations);
+            self.recorder
+                .set_gauge("cache.entries", self.cache.len() as u64);
+            let sp = self.sp_cache.stats();
+            self.recorder.set_gauge("spcache.memo_hits", sp.hits);
+            self.recorder.set_gauge("spcache.misses", sp.misses);
+            self.recorder
+                .set_gauge("spcache.entries", self.sp_cache.len() as u64);
+        }
+
+        let total = clock.since(t_start);
+        self.recorder.record_span("evaluate", total);
 
         EvaluationReport {
             range_results,
@@ -422,14 +513,22 @@ impl IndoorQuerySystem {
             index,
             candidates_processed: candidates.len(),
             objects_known,
-            cache_stats: self.cache.stats(),
+            cache_stats,
             timings: EvaluationTimings {
                 pruning,
                 preprocessing,
                 evaluation,
-                total: clock.since(t_start),
+                total,
             },
+            metrics: obs_on.then(|| self.recorder.snapshot()),
         }
+    }
+
+    /// The observability recorder — disabled (all no-ops) unless
+    /// [`SystemConfig::observability`] is set. Exposed so callers can
+    /// fold their own metrics into the same snapshot.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 }
 
@@ -617,6 +716,53 @@ mod tests {
                 .collect()
         };
         assert_eq!(flat(&p1), flat(&p2), "PTkNN sampling must be reproducible");
+    }
+
+    #[test]
+    fn observability_snapshot_covers_pipeline_stages() {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let cfg = SystemConfig {
+            observability: true,
+            timing: TimingMode::Logical,
+            ..Default::default()
+        };
+        let mut sys = IndoorQuerySystem::new(plan, cfg, 7);
+        let near = sys.readers()[0];
+        let far = sys.readers()[18];
+        for s in 0..4u64 {
+            sys.ingest_detections(s, &[(o(0), near.id()), (o(1), far.id())]);
+        }
+        sys.register_range(Rect::centered(near.position(), 8.0, 6.0))
+            .unwrap();
+        sys.register_knn(near.position(), 1).unwrap();
+        let report = sys.evaluate(4);
+        let snap = report.metrics.expect("observability on → snapshot");
+        let stages = snap.stages();
+        for stage in [
+            "collector",
+            "optimizer",
+            "pf",
+            "cache",
+            "spcache",
+            "evaluate",
+        ] {
+            assert!(
+                stages.iter().any(|s| s == stage),
+                "missing {stage}: {stages:?}"
+            );
+        }
+        assert!(snap.counters["collector.entries_aggregated"] >= 8);
+        assert!(snap.counters["pf.sir_iterations"] > 0);
+        assert!(snap.histograms["pf.ess"].count > 0, "ESS observed");
+        assert!(snap.spans.contains_key("evaluate/queries/range"));
+        assert!(snap.spans.contains_key("evaluate/queries/knn"));
+        assert_eq!(snap.spans["evaluate"].count, 1);
+        // Off by default: no snapshot, and the recorder is inert.
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut off = IndoorQuerySystem::new(plan, SystemConfig::default(), 7);
+        off.ingest_detections(0, &[(o(0), near.id())]);
+        assert!(!off.recorder().is_enabled());
+        assert!(off.evaluate(0).metrics.is_none());
     }
 
     #[test]

@@ -59,4 +59,4 @@ pub use ids::{AnchorId, EdgeId, NodeId};
 pub use index::AnchorObjectIndex;
 pub use node::{Node, NodeKind};
 pub use path::Path;
-pub use shortest::{ShortestPathCache, ShortestPaths};
+pub use shortest::{ShortestPathCache, ShortestPaths, SpCacheStats};

@@ -11,6 +11,7 @@ use crate::{EdgeId, GraphPos, NodeId, Path, WalkingGraph};
 use parking_lot::RwLock;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 /// Max-heap entry ordered so the smallest distance pops first.
@@ -198,6 +199,18 @@ type SourceKey = (EdgeId, u64);
 #[derive(Debug, Default)]
 pub struct ShortestPathCache {
     entries: RwLock<HashMap<SourceKey, Arc<ShortestPaths>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Memoization counters of a [`ShortestPathCache`]. Counter updates are
+/// atomic adds, so totals are independent of thread interleaving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpCacheStats {
+    /// Lookups served from a memoized Dijkstra tree.
+    pub hits: u64,
+    /// Lookups that ran Dijkstra.
+    pub misses: u64,
 }
 
 impl ShortestPathCache {
@@ -210,8 +223,10 @@ impl ShortestPathCache {
     pub fn paths(&self, graph: &WalkingGraph, from: GraphPos) -> Arc<ShortestPaths> {
         let key: SourceKey = (from.edge, from.offset.to_bits());
         if let Some(sp) = self.entries.read().get(&key) {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
             return Arc::clone(sp);
         }
+        self.misses.fetch_add(1, AtomicOrdering::Relaxed);
         // Compute outside the write lock; racing computations of the same
         // source produce identical trees, and the entry API keeps the
         // first one inserted.
@@ -230,9 +245,18 @@ impl ShortestPathCache {
         self.entries.read().is_empty()
     }
 
-    /// Drops all memoized trees (e.g. after the graph changes).
+    /// Drops all memoized trees (e.g. after the graph changes). The
+    /// hit/miss counters keep accumulating across clears.
     pub fn clear(&self) {
         self.entries.write().clear();
+    }
+
+    /// Memoization counters accumulated since construction.
+    pub fn stats(&self) -> SpCacheStats {
+        SpCacheStats {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+        }
     }
 }
 
@@ -395,6 +419,7 @@ mod tests {
         let second = cache.paths(&g, from);
         assert!(Arc::ptr_eq(&first, &second), "second lookup is memoized");
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), SpCacheStats { hits: 1, misses: 1 });
         let fresh = ShortestPaths::from_pos(&g, from);
         assert_eq!(first.distance_to(&g, to), fresh.distance_to(&g, to));
         cache.clear();

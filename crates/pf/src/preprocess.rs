@@ -27,6 +27,7 @@ use crate::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ripq_graph::{AnchorId, AnchorObjectIndex, AnchorSet, WalkingGraph};
+use ripq_obs::{Counter, Histogram, Recorder};
 use ripq_rfid::{ObjectId, Reader, ReaderId, ReadingStore};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -140,12 +141,41 @@ struct ObjectPlan {
     resume_timestamp: u64,
 }
 
+/// Resolved `pf.*` metric handles. Every recording operation is
+/// commutative (atomic adds, histogram bucket counts), so worker threads
+/// sharing one preprocessor produce interleaving-independent totals.
+/// All handles default to no-ops until a recorder is attached.
+#[derive(Debug, Clone, Default)]
+struct PfMetrics {
+    /// Objects run through Algorithm 2.
+    objects: Counter,
+    /// SIR main-loop seconds simulated (Algorithm 2 lines 7–31).
+    sir_iterations: Counter,
+    /// Effective sample size at each observation step, floored.
+    ess: Histogram,
+    /// Resampling steps actually taken (ESS below threshold).
+    resamples: Counter,
+    /// Sensor resets (reading contradicted every hypothesis).
+    sensor_resets: Counter,
+    /// Filter runs resumed from cached particles.
+    cache_resumes: Counter,
+    /// Seconds of replay a cache resume skipped.
+    resume_depth: Histogram,
+    /// Passes where the 60 s coast cutoff truncated the simulation.
+    cutoff_hits: Counter,
+    /// Seconds the coast cutoff culled from the simulation window.
+    cutoff_seconds_skipped: Counter,
+    /// Final particle-set size per object (KLD sampling may shrink it).
+    final_particles: Histogram,
+}
+
 /// Algorithm 2 runner, borrowing the static world description.
 pub struct ParticlePreprocessor<'a> {
     graph: &'a WalkingGraph,
     anchors: &'a AnchorSet,
     readers: &'a [Reader],
     config: PreprocessorConfig,
+    metrics: PfMetrics,
 }
 
 impl<'a> ParticlePreprocessor<'a> {
@@ -163,7 +193,28 @@ impl<'a> ParticlePreprocessor<'a> {
             anchors,
             readers,
             config,
+            metrics: PfMetrics::default(),
         }
+    }
+
+    /// Attaches an observability recorder: `pf.*` counters and histograms
+    /// are recorded from now on. Handles are resolved once here, so the
+    /// per-step cost is an atomic add (or a no-op branch when the
+    /// recorder is disabled).
+    pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
+        self.metrics = PfMetrics {
+            objects: recorder.counter("pf.objects_processed"),
+            sir_iterations: recorder.counter("pf.sir_iterations"),
+            ess: recorder.histogram("pf.ess"),
+            resamples: recorder.counter("pf.resamples"),
+            sensor_resets: recorder.counter("pf.sensor_resets"),
+            cache_resumes: recorder.counter("pf.cache_resumes"),
+            resume_depth: recorder.histogram("pf.resume_depth_seconds"),
+            cutoff_hits: recorder.counter("pf.coast_cutoff_hits"),
+            cutoff_seconds_skipped: recorder.counter("pf.coast_seconds_skipped"),
+            final_particles: recorder.histogram("pf.final_particles"),
+        };
+        self
     }
 
     /// The configuration in use.
@@ -193,6 +244,10 @@ impl<'a> ParticlePreprocessor<'a> {
 
         // `tmin = min(td + 60, tcurrent)` — line 6.
         let tmin = (td + self.config.coast_seconds).min(now);
+        if tmin < now {
+            self.metrics.cutoff_hits.inc();
+            self.metrics.cutoff_seconds_skipped.add(now - tmin);
+        }
         let agg_start = agg.start_second;
 
         let cached = cache.and_then(|c| c.lookup(object, episode_key));
@@ -227,6 +282,12 @@ impl<'a> ParticlePreprocessor<'a> {
             // ripq-lint: allow(no-panic-paths) -- plan_object (the only caller path) already verified the object is known to the collector
             .expect("plan_object verified the object is known");
 
+        if plan.cached.is_some() {
+            self.metrics.cache_resumes.inc();
+            self.metrics
+                .resume_depth
+                .observe(plan.resume_timestamp.saturating_sub(plan.agg_start));
+        }
         let (mut filter, start, resumed) = match plan.cached {
             Some((states, t)) if t <= plan.tmin => {
                 (ParticleFilter::from_states(states), t + 1, true)
@@ -272,10 +333,11 @@ impl<'a> ParticlePreprocessor<'a> {
                 if any_consistent {
                     filter.reweight(|s| self.config.measurement.likelihood(self.graph, s, reader));
                     filter.normalize();
-                    if filter.effective_sample_size()
-                        < filter.len() as f64 * self.config.resample_threshold
-                    {
+                    let ess = filter.effective_sample_size();
+                    self.metrics.ess.observe_f64(ess);
+                    if ess < filter.len() as f64 * self.config.resample_threshold {
                         self.resample(rng, &mut filter);
+                        self.metrics.resamples.inc();
                     }
                 } else {
                     // Sensor reset: the reading contradicts every
@@ -286,6 +348,7 @@ impl<'a> ParticlePreprocessor<'a> {
                     let n = filter.len();
                     let seeds = seed_particles(rng, self.graph, reader, &self.config.motion, n);
                     filter = ParticleFilter::from_states(seeds);
+                    self.metrics.sensor_resets.inc();
                 }
             } else if self.config.negative_evidence {
                 // No reading this second ⇒ the object is outside every
@@ -306,10 +369,11 @@ impl<'a> ParticlePreprocessor<'a> {
                     filter.normalize();
                     // Resample only on real degeneracy to preserve
                     // hypothesis diversity during long silent stretches.
-                    if filter.effective_sample_size()
-                        < filter.len() as f64 * self.config.resample_threshold
-                    {
+                    let ess = filter.effective_sample_size();
+                    self.metrics.ess.observe_f64(ess);
+                    if ess < filter.len() as f64 * self.config.resample_threshold {
                         self.resample(rng, &mut filter);
+                        self.metrics.resamples.inc();
                     }
                 }
             }
@@ -391,6 +455,9 @@ impl<'a> ParticlePreprocessor<'a> {
         resumed: bool,
         simulated: u64,
     ) -> PreprocessOutcome {
+        self.metrics.objects.inc();
+        self.metrics.sir_iterations.add(simulated);
+        self.metrics.final_particles.observe(filter.len() as u64);
         // Lines 32–36: snap each particle to its nearest anchor point;
         // p(o at ap) = n/Ns.
         let n = filter.len() as f64;

@@ -11,6 +11,7 @@
 //!   earlier history.
 
 use crate::{ObjectId, RawReading, ReaderId};
+use ripq_obs::{Counter, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -82,10 +83,30 @@ impl AggregatedReadings<'_> {
     }
 }
 
+/// Resolved metric handles for the collector stage (`collector.*`
+/// counters). All default to no-ops until a recorder is attached.
+#[derive(Debug, Clone, Default)]
+struct CollectorMetrics {
+    /// Aggregated per-second entries appended (incl. backfilled silence).
+    entries: Counter,
+    /// Entries that carried a detection.
+    detections: Counter,
+    /// ENTER/LEAVE events emitted.
+    events: Counter,
+    /// Raw sample-level readings ingested.
+    raw_samples: Counter,
+    /// Batches dropped for arriving older than the newest second.
+    stale_batches: Counter,
+    /// Distinct objects first registered.
+    objects_seen: Counter,
+}
+
 /// The event-driven raw data collector.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DataCollector {
     objects: HashMap<ObjectId, ObjectState>,
+    #[serde(skip)]
+    metrics: CollectorMetrics,
     current_second: Option<u64>,
     /// Re-detections by the same reader within this many seconds continue
     /// the same episode (tolerates residual aggregation misses).
@@ -102,6 +123,7 @@ impl Default for DataCollector {
     fn default() -> Self {
         DataCollector {
             objects: HashMap::new(),
+            metrics: CollectorMetrics::default(),
             current_second: None,
             gap_tolerance: 2,
             idle_cutoff: 90,
@@ -116,10 +138,25 @@ impl DataCollector {
         Self::default()
     }
 
+    /// Attaches an observability recorder; `collector.*` counters are
+    /// recorded from now on. A disabled recorder detaches (all handles
+    /// become no-ops again).
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.metrics = CollectorMetrics {
+            entries: recorder.counter("collector.entries_aggregated"),
+            detections: recorder.counter("collector.detections"),
+            events: recorder.counter("collector.events_emitted"),
+            raw_samples: recorder.counter("collector.raw_samples"),
+            stale_batches: recorder.counter("collector.stale_batches_dropped"),
+            objects_seen: recorder.counter("collector.objects_seen"),
+        };
+    }
+
     /// Ingests all raw readings of one second (any object mix, unordered
     /// within the second). Seconds must be fed in non-decreasing order;
     /// skipped seconds are treated as silent.
     pub fn ingest_raw_second(&mut self, second: u64, raw: &[RawReading]) {
+        self.metrics.raw_samples.add(raw.len() as u64);
         // Per-second aggregation: object → detecting reader (most samples
         // wins; with disjoint ranges there is only one candidate).
         let mut counts: HashMap<(ObjectId, ReaderId), u32> = HashMap::new();
@@ -152,7 +189,8 @@ impl DataCollector {
     pub fn ingest_second(&mut self, second: u64, detections: &[(ObjectId, ReaderId)]) {
         if let Some(cur) = self.current_second {
             if second < cur {
-                return; // stale batch
+                self.metrics.stale_batches.inc();
+                return;
             }
         }
         self.current_second = Some(second);
@@ -170,6 +208,7 @@ impl DataCollector {
         }
         // Newly seen objects.
         for (id, reader) in det {
+            self.metrics.objects_seen.inc();
             self.objects.insert(
                 id,
                 ObjectState {
@@ -202,6 +241,12 @@ impl DataCollector {
             st.entries.push(None);
         }
         st.entries.push(reading);
+        self.metrics
+            .entries
+            .add(1 + second.saturating_sub(expected));
+        if reading.is_some() {
+            self.metrics.detections.inc();
+        }
 
         if let Some(reader) = reading {
             st.last_detection = second;
@@ -221,7 +266,7 @@ impl DataCollector {
                             second: prev.last_second + 1,
                         };
                         if st.events.last() != Some(&ev) {
-                            push_event(&mut st.events, ev, max_events);
+                            push_event(&mut st.events, ev, max_events, &self.metrics.events);
                         }
                     }
                 }
@@ -238,6 +283,7 @@ impl DataCollector {
                         second,
                     },
                     max_events,
+                    &self.metrics.events,
                 );
                 // Retention: keep only the two most recent episodes and
                 // drop entries older than the older episode's start.
@@ -261,6 +307,7 @@ impl DataCollector {
                             second,
                         },
                         max_events,
+                        &self.metrics.events,
                     );
                 }
             }
@@ -327,8 +374,9 @@ impl DataCollector {
     }
 }
 
-fn push_event(events: &mut Vec<RfidEvent>, ev: RfidEvent, cap: usize) {
+fn push_event(events: &mut Vec<RfidEvent>, ev: RfidEvent, cap: usize, emitted: &Counter) {
     events.push(ev);
+    emitted.inc();
     if events.len() > cap {
         let excess = events.len() - cap;
         events.drain(..excess);

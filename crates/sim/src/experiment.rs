@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use ripq_core::{evaluate_knn, evaluate_range, KnnQuery, QueryId};
 use ripq_geom::{Point2, Rect};
+use ripq_obs::{MetricsSnapshot, Recorder};
 use ripq_pf::{ParticleCache, ParticlePreprocessor, PreprocessorConfig};
 use ripq_rfid::{DataCollector, ObjectId};
 use serde::{Deserialize, Serialize};
@@ -159,6 +160,35 @@ impl Experiment {
 
     /// Runs the experiment and returns the averaged accuracy metrics.
     pub fn run(&self) -> AccuracyReport {
+        self.run_inner(&Recorder::disabled())
+    }
+
+    /// Runs the experiment with pipeline observability controlled by
+    /// [`ExperimentParams::observability`], returning the accuracy report
+    /// together with the metrics snapshot (`None` when observability is
+    /// off).
+    ///
+    /// The snapshot covers every instrumented stage the run exercises —
+    /// collector ingestion, particle-filter preprocessing, plus the
+    /// harness's own `sim.*` counters — and is deterministic: same
+    /// params, same snapshot, regardless of `parallelism`.
+    pub fn run_with_metrics(&self) -> (AccuracyReport, Option<MetricsSnapshot>) {
+        let recorder = Recorder::from_flag(self.params.observability);
+        let report = self.run_inner(&recorder);
+        let snapshot = recorder.is_enabled().then(|| recorder.snapshot());
+        (report, snapshot)
+    }
+
+    fn run_inner(&self, recorder: &Recorder) -> AccuracyReport {
+        // Wall-clock spans are only taken when the recorder is live, so an
+        // observability-off run never touches the clock. Span *durations*
+        // are the one non-deterministic part of a sim snapshot (span
+        // counts and every counter/gauge/histogram are exact); the core
+        // system facade offers fully logical timing instead.
+        use std::time::Instant;
+        let obs_on = recorder.is_enabled();
+        // ripq-lint: allow(no-nondeterminism) -- wall-clock span timing, only taken when the recorder is live; accuracy results never read it
+        let t_run = obs_on.then(Instant::now);
         let p = &self.params;
         let w = &self.world;
         let mut rng_trace = StdRng::seed_from_u64(p.seed.wrapping_add(1));
@@ -181,6 +211,7 @@ impl Experiment {
 
         // 2. Stream seconds into the collector; evaluate at timestamps.
         let mut collector = DataCollector::new();
+        collector.set_recorder(recorder);
         let cache = ParticleCache::new();
         let pf_config = PreprocessorConfig {
             num_particles: p.num_particles,
@@ -195,7 +226,8 @@ impl Experiment {
             },
             ..Default::default()
         };
-        let preprocessor = ParticlePreprocessor::new(&w.graph, &w.anchors, &w.readers, pf_config);
+        let preprocessor = ParticlePreprocessor::new(&w.graph, &w.anchors, &w.readers, pf_config)
+            .with_recorder(recorder);
 
         let timestamps = p.timestamps();
         let mut next_ts = 0usize;
@@ -216,12 +248,15 @@ impl Experiment {
             while next_ts < timestamps.len() && timestamps[next_ts] == second {
                 next_ts += 1;
                 let now = second;
+                recorder.add("sim.timestamps_evaluated", 1);
 
                 // Both probabilistic indexes over all objects. One pass
                 // seed per timestamp; each object then filters on its own
                 // derived RNG stream, so `parallelism` never changes the
                 // numbers.
                 let pass_seed: u64 = rng_pf.random();
+                // ripq-lint: allow(no-nondeterminism) -- wall-clock span timing, recorder-gated, never feeds results
+                let t_pf = obs_on.then(Instant::now);
                 let pf_index = preprocessor.process_streamed(
                     pass_seed,
                     &collector,
@@ -230,9 +265,23 @@ impl Experiment {
                     Some(cache.shared()),
                     p.parallelism,
                 );
+                if let Some(t) = t_pf {
+                    recorder.record_span("run/pf_index", t.elapsed());
+                }
+                // ripq-lint: allow(no-nondeterminism) -- wall-clock span timing, recorder-gated, never feeds results
+                let t_sm = obs_on.then(Instant::now);
                 let sm_index = w.symbolic.build_index(&collector, &objects, now);
+                if let Some(t) = t_sm {
+                    recorder.record_span("run/sm_index", t.elapsed());
+                }
+                // ripq-lint: allow(no-nondeterminism) -- wall-clock span timing, recorder-gated, never feeds results
+                let t_queries = obs_on.then(Instant::now);
 
                 // Range queries.
+                recorder.add(
+                    "sim.range_queries_issued",
+                    p.range_queries_per_timestamp as u64,
+                );
                 for _ in 0..p.range_queries_per_timestamp {
                     let window = self.random_window(&mut rng_query);
                     let truth = ground_truth.range(&window, now);
@@ -250,6 +299,7 @@ impl Experiment {
                 }
 
                 // kNN queries.
+                recorder.add("sim.knn_queries_issued", knn_points.len() as u64);
                 for (qi, &point) in knn_points.iter().enumerate() {
                     let truth = ground_truth.knn(point, p.k, now);
                     let query = KnnQuery::new(QueryId::new(qi as u32), point, p.k).expect("k >= 1");
@@ -290,7 +340,13 @@ impl Experiment {
                         err_sm.push(metrics::expected_error(&w.anchors, dist, true_pt));
                     }
                 }
+                if let Some(t) = t_queries {
+                    recorder.record_span("run/queries", t.elapsed());
+                }
             }
+        }
+        if let Some(t) = t_run {
+            recorder.record_span("run", t.elapsed());
         }
 
         AccuracyReport {
@@ -379,6 +435,48 @@ mod tests {
         // AccuracyReport is Copy/PartialEq over f64 fields: this is a
         // bit-for-bit comparison of every metric.
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_parallelism_invariant() {
+        let base = ExperimentParams {
+            observability: true,
+            ..ExperimentParams::smoke()
+        };
+        let (r1, s1) = Experiment::new(base).run_with_metrics();
+        let (r2, s2) = Experiment::new(ExperimentParams {
+            parallelism: Some(4),
+            ..base
+        })
+        .run_with_metrics();
+        assert_eq!(r1, r2);
+        let s1 = s1.expect("observability on yields a snapshot");
+        let s2 = s2.expect("observability on yields a snapshot");
+        // All metric operations commute, so every counter, gauge and
+        // histogram is identical regardless of worker scheduling. Span
+        // durations are wall-clock here (the sim harness has no logical
+        // clock) — only their keys and counts are checked.
+        assert_eq!(s1.counters, s2.counters);
+        assert_eq!(s1.gauges, s2.gauges);
+        assert_eq!(s1.histograms, s2.histograms);
+        let span_counts = |s: &ripq_obs::MetricsSnapshot| {
+            s.spans
+                .iter()
+                .map(|(k, v)| (k.clone(), v.count))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(span_counts(&s1), span_counts(&s2));
+        assert!(s1.spans.contains_key("run/pf_index"));
+        assert!(s1.counters.contains_key("collector.entries_aggregated"));
+        assert!(s1.counters.contains_key("pf.sir_iterations"));
+        assert!(s1.counters.contains_key("sim.timestamps_evaluated"));
+        assert!(s1.histograms.contains_key("pf.ess"));
+    }
+
+    #[test]
+    fn metrics_absent_when_observability_off() {
+        let (_, snapshot) = Experiment::new(ExperimentParams::smoke()).run_with_metrics();
+        assert!(snapshot.is_none());
     }
 
     #[test]

@@ -31,10 +31,15 @@ use std::collections::{HashMap, HashSet};
 pub const KL_EPSILON: f64 = 1e-2;
 
 /// `D_KL(P ‖ Q) = Σᵢ P(i) ln(P(i)/Q(i))` over ε-smoothed, re-normalized
-/// distributions. Both slices must have the same length.
-pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
-    assert_eq!(p.len(), q.len(), "distributions over the same support");
-    assert!(!p.is_empty(), "empty support");
+/// distributions.
+///
+/// Returns `None` when the inputs are not comparable — different
+/// supports (lengths) or an empty support — instead of panicking, per
+/// the no-panic-paths policy (lint rule R3).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Option<f64> {
+    if p.len() != q.len() || p.is_empty() {
+        return None;
+    }
     let sp: f64 = p.iter().sum::<f64>() + KL_EPSILON * p.len() as f64;
     let sq: f64 = q.iter().sum::<f64>() + KL_EPSILON * q.len() as f64;
     let mut kl = 0.0;
@@ -43,7 +48,7 @@ pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
         let qn = (qi + KL_EPSILON) / sq;
         kl += pn * (pn / qn).ln();
     }
-    kl.max(0.0)
+    Some(kl.max(0.0))
 }
 
 /// KL divergence of a probabilistic range-query result against the ground
@@ -65,7 +70,7 @@ pub fn range_kl(
         .map(|o| if truth.contains(o) { 1.0 } else { 0.0 })
         .collect();
     let q: Vec<f64> = universe.iter().map(|o| result.probability(*o)).collect();
-    Some(kl_divergence(&p, &q))
+    kl_divergence(&p, &q)
 }
 
 /// kNN hit rate: `|returned ∩ truth| / k`.
@@ -191,15 +196,15 @@ mod tests {
     #[test]
     fn kl_zero_for_identical() {
         let p = [0.25, 0.25, 0.5];
-        assert!(kl_divergence(&p, &p) < 1e-12);
+        assert!(kl_divergence(&p, &p).unwrap() < 1e-12);
     }
 
     #[test]
     fn kl_positive_and_asymmetric() {
         let p = [1.0, 0.0, 0.0];
         let q = [0.2, 0.4, 0.4];
-        let d1 = kl_divergence(&p, &q);
-        let d2 = kl_divergence(&q, &p);
+        let d1 = kl_divergence(&p, &q).unwrap();
+        let d2 = kl_divergence(&q, &p).unwrap();
         assert!(d1 > 0.0);
         assert!(d2 > 0.0);
         assert!((d1 - d2).abs() > 1e-6, "KL is not symmetric");
@@ -208,9 +213,15 @@ mod tests {
     #[test]
     fn kl_decreases_as_q_approaches_p() {
         let p = [1.0, 0.0];
-        let far = kl_divergence(&p, &[0.5, 0.5]);
-        let near = kl_divergence(&p, &[0.9, 0.1]);
+        let far = kl_divergence(&p, &[0.5, 0.5]).unwrap();
+        let near = kl_divergence(&p, &[0.9, 0.1]).unwrap();
         assert!(near < far);
+    }
+
+    #[test]
+    fn kl_rejects_incomparable_supports_without_panicking() {
+        assert!(kl_divergence(&[0.5, 0.5], &[1.0]).is_none());
+        assert!(kl_divergence(&[], &[]).is_none());
     }
 
     #[test]

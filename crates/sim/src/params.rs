@@ -70,6 +70,11 @@ pub struct ExperimentParams {
     /// sequential). Accuracy results are bit-identical for every setting:
     /// each object filters on its own deterministic RNG stream.
     pub parallelism: Option<usize>,
+    /// Collect pipeline metrics during the run (see
+    /// [`Experiment::run_with_metrics`](crate::Experiment::run_with_metrics)).
+    /// Off by default: the disabled recorder reduces every instrument
+    /// point to a no-op branch.
+    pub observability: bool,
     /// Master RNG seed; every derived generator is seeded from it.
     pub seed: u64,
 }
@@ -100,6 +105,7 @@ impl Default for ExperimentParams {
             kde_bandwidth: 2.0,
             kld_adaptive: false,
             parallelism: None,
+            observability: false,
             seed: 0xED8_2013,
         }
     }

@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --metrics-json metrics.json
 //! ```
 //!
 //! Builds the paper's 30-room office, walks one tagged person past two
 //! RFID readers, and evaluates a probabilistic range query and a kNN query
-//! against the particle-filter index.
+//! against the particle-filter index. With `--metrics-json <path>` the
+//! run enables the observability layer and writes the pipeline metrics
+//! snapshot to `<path>`.
 
 use ripq::core::{IndoorQuerySystem, SystemConfig};
 use ripq::floorplan::{office_building, OfficeParams};
@@ -14,10 +17,27 @@ use ripq::geom::Rect;
 use ripq::rfid::ObjectId;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_json = args
+        .iter()
+        .position(|a| a == "--metrics-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
     // 1. The world: the paper's office (30 rooms, 4 hallways) with 19
     //    readers at 2 m activation range (Table 2 defaults).
     let plan = office_building(&OfficeParams::default()).expect("valid plan");
-    let mut system = IndoorQuerySystem::new(plan, SystemConfig::default(), 42);
+    let mut config = SystemConfig {
+        observability: metrics_json.is_some(),
+        ..SystemConfig::default()
+    };
+    // Table 2's 64 particles are tuned for accuracy *averaged* over many
+    // objects and queries; this demo tracks a single person across an
+    // 8-second unobserved stretch between two readers, where a 64-particle
+    // cloud can lose the correct hypothesis to sampling noise. A few
+    // hundred particles make the single-run outcome robust for any seed.
+    config.preprocess.num_particles = 512;
+    let mut system = IndoorQuerySystem::new(plan, config, 42);
 
     // 2. One tagged person (object o0) walks down hallway H0 at ~1 m/s,
     //    passing reader d0 and then reader d1. We feed the per-second
@@ -70,6 +90,14 @@ fn main() {
     println!("\n2NN query at {}:", d1.position());
     for r in knn_result.sorted() {
         println!("  {}: p = {:.3}", r.object, r.probability);
+    }
+
+    // 5. Optionally dump the pipeline metrics snapshot (before the sanity
+    //    assert below, so diagnostics survive a failing run).
+    if let Some(path) = metrics_json {
+        let snapshot = report.metrics.as_ref().expect("observability was enabled");
+        std::fs::write(&path, snapshot.to_json()).expect("write metrics JSON");
+        println!("wrote pipeline metrics to {path}");
     }
 
     let p_alice = range_result.probability(alice);

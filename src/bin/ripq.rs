@@ -47,6 +47,7 @@ fn main() {
                  \n\
                  plan [office|mall|subway|tower] [--svg FILE]\n\
                  simulate [--objects N] [--duration S] [--seed N] [--parallelism N]\n\
+                 \x20        [--metrics-json FILE] [--trace]\n\
                  trace [--object N] [--duration S] [--seed N] [--svg FILE]\n\
                  defaults"
             );
@@ -110,6 +111,8 @@ fn cmd_plan(args: &[String]) {
 }
 
 fn cmd_simulate(args: &[String]) {
+    let metrics_json = flag(args, "--metrics-json");
+    let trace_spans = args.iter().any(|a| a == "--trace");
     let params = ExperimentParams {
         num_objects: parse_or(flag(args, "--objects"), 60),
         duration: parse_or(flag(args, "--duration"), 240),
@@ -120,6 +123,7 @@ fn cmd_simulate(args: &[String]) {
         eval_timestamps: 10,
         range_queries_per_timestamp: 40,
         knn_query_points: 12,
+        observability: metrics_json.is_some() || trace_spans,
         ..Default::default()
     };
     println!(
@@ -129,7 +133,7 @@ fn cmd_simulate(args: &[String]) {
         params.seed,
         params.parallelism.unwrap_or(1).max(1)
     );
-    let r = Experiment::new(params).run();
+    let (r, snapshot) = Experiment::new(params).run_with_metrics();
     println!(
         "range-query KL divergence: PF {:.3}  SM {:.3}",
         r.range_kl_pf, r.range_kl_sm
@@ -146,6 +150,15 @@ fn cmd_simulate(args: &[String]) {
         "({} range queries, {} kNN evaluations)",
         r.range_queries_evaluated, r.knn_queries_evaluated
     );
+    if let Some(snapshot) = snapshot {
+        if let Some(path) = metrics_json {
+            std::fs::write(&path, snapshot.to_json()).expect("write metrics JSON");
+            println!("wrote pipeline metrics to {path}");
+        }
+        if trace_spans {
+            eprint!("{}", snapshot.render_trace());
+        }
+    }
 }
 
 fn cmd_trace(args: &[String]) {

@@ -1,6 +1,6 @@
 //! Reproducibility: the whole stack is a pure function of its seeds.
 
-use ripq::core::{IndoorQuerySystem, SystemConfig};
+use ripq::core::{IndoorQuerySystem, SystemConfig, TimingMode};
 use ripq::floorplan::{office_building, OfficeParams};
 use ripq::geom::Rect;
 use ripq::rfid::ObjectId;
@@ -51,14 +51,10 @@ fn system_facade_reproduces_under_fixed_seed() {
     assert_eq!(p1, p2);
 }
 
-/// Runs a fixed workload through the system facade at the given
-/// preprocessing parallelism and returns its evaluation report.
-fn evaluate_with_parallelism(parallelism: Option<usize>) -> ripq::core::EvaluationReport {
+/// Runs a fixed workload through the system facade under the given
+/// config and returns its evaluation report.
+fn evaluate_with_config(config: SystemConfig) -> ripq::core::EvaluationReport {
     let plan = office_building(&OfficeParams::default()).unwrap();
-    let config = SystemConfig {
-        parallelism,
-        ..SystemConfig::default()
-    };
     let mut sys = IndoorQuerySystem::new(plan, config, 4242);
     let reader_ids: Vec<_> = sys.readers().iter().map(|r| r.id()).collect();
     // 12 objects pinging a rotating subset of readers for 16 seconds.
@@ -79,6 +75,15 @@ fn evaluate_with_parallelism(parallelism: Option<usize>) -> ripq::core::Evaluati
     sys.register_knn(center, 3).unwrap();
     sys.register_ptknn(center, 3, 0.2).unwrap();
     sys.evaluate(16)
+}
+
+/// Runs a fixed workload through the system facade at the given
+/// preprocessing parallelism and returns its evaluation report.
+fn evaluate_with_parallelism(parallelism: Option<usize>) -> ripq::core::EvaluationReport {
+    evaluate_with_config(SystemConfig {
+        parallelism,
+        ..SystemConfig::default()
+    })
 }
 
 #[test]
@@ -126,6 +131,47 @@ fn parallel_experiment_matches_sequential_end_to_end() {
     })
     .run();
     assert_eq!(sequential, parallel);
+}
+
+/// Runs the shared workload with observability on and logical timing and
+/// returns the rendered metrics snapshot.
+fn metrics_json_with_parallelism(parallelism: Option<usize>) -> String {
+    let report = evaluate_with_config(SystemConfig {
+        parallelism,
+        timing: TimingMode::Logical,
+        observability: true,
+        ..SystemConfig::default()
+    });
+    report
+        .metrics
+        .expect("observability on yields a snapshot")
+        .to_json()
+}
+
+/// Under `TimingMode::Logical` the metrics snapshot — span durations
+/// included — is part of the determinism contract: byte-identical JSON
+/// across repeated runs *and* across preprocessing worker counts.
+#[test]
+fn metrics_snapshot_json_is_byte_identical_across_runs_and_workers() {
+    let baseline = metrics_json_with_parallelism(None);
+    assert!(
+        baseline.contains("\"pf."),
+        "snapshot must cover the particle-filter stage:\n{baseline}"
+    );
+    assert_eq!(
+        baseline,
+        metrics_json_with_parallelism(None),
+        "sequential rerun drifted"
+    );
+    for workers in [1usize, 2, 4] {
+        for run in 0..2 {
+            assert_eq!(
+                baseline,
+                metrics_json_with_parallelism(Some(workers)),
+                "snapshot JSON diverges at {workers} workers (run {run})"
+            );
+        }
+    }
 }
 
 #[test]

@@ -14,7 +14,9 @@
 //! and commit the updated `tests/fixtures/expected_queries.txt` together
 //! with a note explaining why the numbers moved.
 
-use ripq::core::{EvaluationReport, IndoorQuerySystem, QueryId, ResultSet, SystemConfig};
+use ripq::core::{
+    EvaluationReport, IndoorQuerySystem, QueryId, ResultSet, SystemConfig, TimingMode,
+};
 use ripq::floorplan::{FloorPlan, FloorPlanBuilder};
 use ripq::geom::{Point2, Rect};
 use std::fmt::Write as _;
@@ -63,12 +65,19 @@ fn load_plan() -> FloorPlan {
 /// Feeds `mini_trace.txt` into the system and evaluates one range and one
 /// kNN query at `now`.
 fn run_fixture() -> (EvaluationReport, QueryId, QueryId, u64) {
+    run_fixture_with(SystemConfig::default())
+}
+
+/// [`run_fixture`] with caller control over the config knobs the golden
+/// tests vary (observability, timing mode). Reader count and pruning are
+/// pinned here so every variant evaluates the same workload.
+fn run_fixture_with(base: SystemConfig) -> (EvaluationReport, QueryId, QueryId, u64) {
     let config = SystemConfig {
         reader_count: 6,
         // The fixture exercises the evaluators, not the optimizer; keep
         // every object a candidate so the outputs cover all three.
         prune_candidates: false,
-        ..SystemConfig::default()
+        ..base
     };
     let mut sys = IndoorQuerySystem::new(load_plan(), config, SEED);
     let readers: Vec<_> = sys.readers().iter().map(|r| r.id()).collect();
@@ -152,6 +161,38 @@ fn golden_range_and_knn_outputs() {
     assert_eq!(
         expected, actual,
         "query outputs drifted from the golden fixture; if the change is \
+         intentional, regenerate with RIPQ_REGEN_GOLDEN=1 cargo test --test golden"
+    );
+}
+
+/// The observability layer gets the same treatment as the query outputs:
+/// the full metrics snapshot of a logical-timing fixture run is pinned
+/// byte-for-byte. Counter, histogram, or span drift — a stage silently
+/// dropping its instrumentation, a changed SIR iteration count — fails
+/// here even when the query probabilities happen to survive.
+#[test]
+fn golden_metrics_snapshot() {
+    let (report, _, _, _) = run_fixture_with(SystemConfig {
+        observability: true,
+        timing: TimingMode::Logical,
+        ..SystemConfig::default()
+    });
+    let actual = report
+        .metrics
+        .expect("observability on yields a snapshot")
+        .to_json();
+
+    let path = fixture_path("expected_metrics.json");
+    if std::env::var_os("RIPQ_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden metrics fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .expect("missing golden metrics fixture; run with RIPQ_REGEN_GOLDEN=1 to create it");
+    assert_eq!(
+        expected, actual,
+        "metrics snapshot drifted from the golden fixture; if the change is \
          intentional, regenerate with RIPQ_REGEN_GOLDEN=1 cargo test --test golden"
     );
 }

@@ -23,8 +23,11 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Crates whose outputs are query results: R2/R5 apply here.
-const RESULT_PRODUCING: [&str; 4] = ["core", "pf", "graph", "symbolic"];
+/// Crates whose outputs are query results: R2/R5 apply here. `obs` is
+/// included because metrics snapshots are result artifacts — golden
+/// fixtures and determinism tests compare them byte-for-byte, so
+/// iteration order and float hygiene matter as much as in query code.
+const RESULT_PRODUCING: [&str; 5] = ["core", "pf", "graph", "symbolic", "obs"];
 
 /// What happened to a candidate violation.
 #[derive(Debug, Clone, PartialEq, Eq)]

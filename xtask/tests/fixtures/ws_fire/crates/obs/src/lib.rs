@@ -1,0 +1,30 @@
+//! Fire fixture: an obs-style span recorder that reads the wall clock
+//! directly instead of taking a caller-measured `Duration`. Metrics code
+//! is result-producing here (snapshots must be bit-identical under
+//! logical timing), so the raw `Instant::now()` must trip R1. Expected:
+//! R1 ×1, nothing else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Accumulated timing for one span label.
+#[derive(Default)]
+pub struct SpanStat {
+    /// Number of recorded executions.
+    pub count: u64,
+    /// Total micros across executions.
+    pub total_micros: u64,
+}
+
+impl SpanStat {
+    /// Times `body` with the wall clock — the exact pattern the
+    /// observability layer must NOT use (callers pass durations measured
+    /// on the pipeline's own clock abstraction instead).
+    pub fn record<T>(&mut self, body: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = body();
+        self.count += 1;
+        self.total_micros += start.elapsed().as_micros() as u64;
+        out
+    }
+}
