@@ -17,6 +17,9 @@
 //!   accuracy for index size.
 //! * [`cache`] — §4.5's cache management module: evaluation wall-time with
 //!   and without particle-state reuse.
+//! * [`fault_severity`] — the `DESIGN.md` §9 fault injector at increasing
+//!   severity: how gracefully does accuracy degrade under drops, jitter
+//!   and reader outages?
 
 use crate::{FigureRow, Scale};
 use ripq_sim::{Experiment, ExperimentParams, SimWorld};
@@ -223,6 +226,39 @@ pub fn sensing_noise(scale: Scale) -> Vec<FigureRow> {
     rows
 }
 
+/// Fault-severity sweep over the reading-pipeline fault injector
+/// (`DESIGN.md` §9): every row doubles down on drops, jitter and reader
+/// outages together. `x` = drop probability (0 is the fault-free
+/// baseline); duplicates ride along at 0.1 everywhere, since the
+/// collector absorbs them exactly. Accuracy should degrade smoothly —
+/// the severe cell loses precision, not correctness.
+pub fn fault_severity(scale: Scale) -> Vec<FigureRow> {
+    use ripq_sim::FaultPlan;
+    let base = scale.base_params();
+    [
+        (0.0, 0, 0.0),
+        (0.1, 2, 0.001),
+        (0.25, 3, 0.003),
+        (0.45, 4, 0.008),
+    ]
+    .into_iter()
+    .map(|(drop, delay, outage)| FigureRow {
+        x: drop,
+        report: Experiment::new(ExperimentParams {
+            faults: FaultPlan {
+                drop_probability: drop,
+                duplicate_probability: 0.1,
+                max_delay_seconds: delay,
+                outage_rate: outage,
+                ..FaultPlan::none()
+            },
+            ..base
+        })
+        .run(),
+    })
+    .collect()
+}
+
 /// Wall-clock effect of the particle cache (§4.5): total experiment time
 /// with the cache on vs. off. Returns `(with_cache, without_cache)`
 /// durations; accuracy differences between the two runs are expected to be
@@ -317,6 +353,28 @@ mod tests {
             off.range_kl_pf
         );
         let _ = scale;
+    }
+
+    #[test]
+    fn faulted_experiment_stays_finite() {
+        // The severe end of the fault sweep must still produce a
+        // well-formed report: degraded accuracy, never NaNs or panics.
+        use ripq_sim::FaultPlan;
+        let base = ExperimentParams::smoke();
+        let report = Experiment::new(ExperimentParams {
+            faults: FaultPlan {
+                drop_probability: 0.45,
+                duplicate_probability: 0.1,
+                max_delay_seconds: 4,
+                outage_rate: 0.008,
+                ..FaultPlan::none()
+            },
+            ..base
+        })
+        .run();
+        assert!(report.range_kl_pf.is_finite());
+        assert!(report.mean_error_pf.is_finite());
+        assert!((0.0..=1.0).contains(&report.top1_success));
     }
 
     #[test]

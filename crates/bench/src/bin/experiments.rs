@@ -137,6 +137,12 @@ fn main() {
                 &ablation::sensing_noise(scale),
                 FULL_SERIES,
             );
+            print_rows(
+                "Ablation: fault severity (x = drop prob; jitter+outages scale with it)",
+                "drop prob",
+                &ablation::fault_severity(scale),
+                FULL_SERIES,
+            );
             println!("\n== Ablation: reader deployment strategy ==");
             for (label, r) in ablation::deployment_strategy(scale) {
                 println!(

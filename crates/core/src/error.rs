@@ -20,6 +20,9 @@ pub enum RipqError {
     /// An object listed by an index was missing its probability entries —
     /// an internal inconsistency between index views.
     InconsistentIndex(u32),
+    /// An input/output operation failed (e.g. writing a metrics snapshot
+    /// to disk). Carries the rendered underlying error.
+    Io(String),
 }
 
 /// Historical name of [`RipqError`], kept for downstream source
@@ -38,6 +41,7 @@ impl fmt::Display for RipqError {
             RipqError::InconsistentIndex(obj) => {
                 write!(f, "index views disagree about object {obj}")
             }
+            RipqError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }
@@ -54,6 +58,9 @@ mod tests {
         assert!(RipqError::UnknownQuery(7).to_string().contains('7'));
         assert!(RipqError::EmptyWindow.to_string().contains("zero area"));
         assert!(RipqError::InconsistentIndex(3).to_string().contains('3'));
+        assert!(RipqError::Io("denied".into())
+            .to_string()
+            .contains("io error: denied"));
     }
 
     #[test]

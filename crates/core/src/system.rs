@@ -48,6 +48,12 @@ pub struct SystemConfig {
     /// for every setting: each object draws from its own RNG stream (see
     /// [`ripq_pf::derive_stream_seed`]).
     pub parallelism: Option<usize>,
+    /// Out-of-order tolerance of the reading pipeline, in seconds:
+    /// readings handed to [`IndoorQuerySystem::ingest_delivery`] whose
+    /// logical second lags the delivery clock by at most this much are
+    /// merged back into the aggregated timeline instead of being dropped.
+    /// `0` (default) keeps the strict in-order ingestion contract.
+    pub reorder_window: u64,
     /// How [`EvaluationTimings`] are measured. [`TimingMode::Wall`]
     /// (default) reads the real clock; [`TimingMode::Logical`] uses a
     /// deterministic tick counter so whole reports are bit-identical
@@ -73,6 +79,7 @@ impl Default for SystemConfig {
             prune_candidates: true,
             ptknn_rounds: 200,
             parallelism: None,
+            reorder_window: 0,
             timing: TimingMode::Wall,
             observability: false,
         }
@@ -169,6 +176,7 @@ impl IndoorQuerySystem {
         let recorder = Recorder::from_flag(config.observability);
         let mut collector = DataCollector::new();
         collector.set_recorder(&recorder);
+        collector.set_reorder_window(config.reorder_window);
         IndoorQuerySystem {
             plan,
             graph,
@@ -227,6 +235,35 @@ impl IndoorQuerySystem {
     /// Ingests raw sample-level readings for one second.
     pub fn ingest_raw(&mut self, second: u64, raw: &[RawReading]) {
         self.collector.ingest_raw_second(second, raw);
+    }
+
+    /// Ingests delivery-tagged readings from a degraded transport: each
+    /// `(logical_second, object, reader)` triple may arrive up to
+    /// [`SystemConfig::reorder_window`] seconds after its logical second
+    /// and is merged back into place; exact duplicates are discarded
+    /// idempotently. Call [`IndoorQuerySystem::flush_readings_through`]
+    /// with the final watermark before evaluating at the stream's end.
+    pub fn ingest_delivery(
+        &mut self,
+        delivery_second: u64,
+        readings: &[(u64, ObjectId, ReaderId)],
+    ) {
+        self.collector.ingest_delivery(delivery_second, readings);
+    }
+
+    /// Finalizes all buffered readings with logical second ≤ `second`
+    /// (the delivery watermark), feeding them — silent seconds included —
+    /// into the aggregated timeline in order.
+    pub fn flush_readings_through(&mut self, second: u64) {
+        self.collector.flush_through(second);
+    }
+
+    /// Registers a known reader downtime window `[from, until]` with the
+    /// collector: silence from that reader during the window no longer
+    /// emits LEAVE events, and same-reader re-detections across it
+    /// continue their episode.
+    pub fn note_reader_outage(&mut self, reader: ReaderId, from: u64, until: u64) {
+        self.collector.note_outage(reader, from, until);
     }
 
     /// Registers a range query.

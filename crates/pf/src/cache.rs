@@ -134,6 +134,14 @@ impl SharedParticleCache {
         }
     }
 
+    /// The episode a cached entry (if any) was filtered under, without
+    /// touching the hit/miss statistics. A peek used by the preprocessor
+    /// to classify an upcoming invalidation: same reader, new episode =
+    /// an outage-style gap; different reader = a device handoff.
+    pub fn cached_episode(&self, object: ObjectId) -> Option<EpisodeKey> {
+        self.shard(object).lock().get(&object).map(|e| e.episode)
+    }
+
     /// Stores the post-filtering particle states of `object` at simulated
     /// second `timestamp`, tagged with the episode they were filtered
     /// under.
@@ -228,6 +236,12 @@ impl ParticleCache {
         episode: EpisodeKey,
     ) {
         self.inner.store(object, particles, timestamp, episode);
+    }
+
+    /// The episode a cached entry (if any) was filtered under, without
+    /// touching the hit/miss statistics.
+    pub fn cached_episode(&self, object: ObjectId) -> Option<EpisodeKey> {
+        self.inner.cached_episode(object)
     }
 
     /// Drops an object's entry.

@@ -167,6 +167,11 @@ struct PfMetrics {
     cutoff_seconds_skipped: Counter,
     /// Final particle-set size per object (KLD sampling may shrink it).
     final_particles: Histogram,
+    /// Cache invalidations caused by a same-device episode split: the
+    /// reading stream went dark long enough (reader outage, deep drop
+    /// burst) to break the episode even though the same reader re-detected
+    /// the object, forcing a fresh reseed.
+    outage_resets: Counter,
 }
 
 /// Algorithm 2 runner, borrowing the static world description.
@@ -213,6 +218,7 @@ impl<'a> ParticlePreprocessor<'a> {
             cutoff_hits: recorder.counter("pf.coast_cutoff_hits"),
             cutoff_seconds_skipped: recorder.counter("pf.coast_seconds_skipped"),
             final_particles: recorder.histogram("pf.final_particles"),
+            outage_resets: recorder.counter("pf.outage_resets"),
         };
         self
     }
@@ -250,7 +256,18 @@ impl<'a> ParticlePreprocessor<'a> {
         }
         let agg_start = agg.start_second;
 
+        let prior_episode = cache.and_then(|c| c.cached_episode(object));
         let cached = cache.and_then(|c| c.lookup(object, episode_key));
+        if cached.is_none() {
+            // Classify the invalidation: the same reader starting a new
+            // episode means the stream went dark past the gap tolerance
+            // (outage-style), not that the object moved to a new device.
+            if let Some(prev) = prior_episode {
+                if prev != episode_key && prev.0 == episode_key.0 {
+                    self.metrics.outage_resets.inc();
+                }
+            }
+        }
         let resume_timestamp = match &cached {
             Some((_, t)) => *t,
             None => agg_start,
@@ -771,6 +788,88 @@ mod tests {
             .process_object(&mut rng, &c, O, now + 1, Some(&mut cache))
             .unwrap();
         assert!(!out.resumed_from_cache, "new device must invalidate");
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn shared_cache_invalidated_when_new_device_detects_mid_resume() {
+        // The §4.5 contract under a device handoff that happens *between*
+        // cache resumes: fill the cache, resume it once (hit), then let a
+        // brand-new device detect the object — the next pass must discard
+        // the cached particles instead of resuming them.
+        let w = world();
+        let mut c = DataCollector::new();
+        let (_, _, now) = feed_two_reader_walk(&w, &mut c);
+        let recorder = ripq_obs::Recorder::enabled();
+        let pre = ParticlePreprocessor::new(
+            &w.graph,
+            &w.anchors,
+            &w.readers,
+            PreprocessorConfig::default(),
+        )
+        .with_recorder(&recorder);
+        let cache = SharedParticleCache::new();
+
+        let first = pre
+            .process_object_streamed(11, &c, O, now, Some(&cache))
+            .unwrap();
+        assert!(!first.resumed_from_cache);
+
+        // Mid-stream resume: silent seconds, same episode → cache hit.
+        for s in now + 1..=now + 4 {
+            c.ingest_second(s, &[]);
+        }
+        let resumed = pre
+            .process_object_streamed(12, &c, O, now + 4, Some(&cache))
+            .unwrap();
+        assert!(resumed.resumed_from_cache);
+
+        // A new device detects the object before the next resume.
+        let other = w.readers[10].id();
+        c.ingest_second(now + 5, &[(O, other)]);
+        let after = pre
+            .process_object_streamed(13, &c, O, now + 5, Some(&cache))
+            .unwrap();
+        assert!(!after.resumed_from_cache, "new device must invalidate");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().invalidations, 1);
+        // A handoff to a *different* device is not an outage reset.
+        let counters = recorder.snapshot().counters;
+        assert_eq!(counters.get("pf.outage_resets"), Some(&0));
+    }
+
+    #[test]
+    fn same_device_episode_split_counts_as_outage_reset() {
+        let w = world();
+        let mut c = DataCollector::new();
+        let r = w.readers[2].id();
+        for s in 0..3u64 {
+            c.ingest_second(s, &[(O, r)]);
+        }
+        let recorder = ripq_obs::Recorder::enabled();
+        let pre = ParticlePreprocessor::new(
+            &w.graph,
+            &w.anchors,
+            &w.readers,
+            PreprocessorConfig::default(),
+        )
+        .with_recorder(&recorder);
+        let cache = SharedParticleCache::new();
+        pre.process_object_streamed(21, &c, O, 3, Some(&cache))
+            .unwrap();
+
+        // Dark stream past the gap tolerance, then the *same* reader
+        // re-detects: a new episode of the same device.
+        for s in 3..=9u64 {
+            c.ingest_second(s, &[]);
+        }
+        c.ingest_second(10, &[(O, r)]);
+        let out = pre
+            .process_object_streamed(22, &c, O, 10, Some(&cache))
+            .unwrap();
+        assert!(!out.resumed_from_cache, "episode split must invalidate");
+        let counters = recorder.snapshot().counters;
+        assert_eq!(counters.get("pf.outage_resets"), Some(&1));
         assert_eq!(cache.stats().invalidations, 1);
     }
 

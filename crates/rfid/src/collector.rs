@@ -13,7 +13,7 @@
 use crate::{ObjectId, RawReading, ReaderId};
 use ripq_obs::{Counter, Recorder};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Kind of a detection-range event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,6 +34,38 @@ pub struct RfidEvent {
     /// The second it happened (for LEAVE: the first second *without* a
     /// detection).
     pub second: u64,
+}
+
+/// A reader downtime window the collector has been told about (a known
+/// failure or maintenance window). During it, silence from that reader is
+/// expected — not evidence the object left its range. Windows of one
+/// reader are assumed disjoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct OutageWindow {
+    reader: ReaderId,
+    from: u64,
+    until: u64,
+}
+
+/// Seconds `s` with `after < s < before` during which `reader` was down.
+fn downtime_between(outages: &[OutageWindow], reader: ReaderId, after: u64, before: u64) -> u64 {
+    if before <= after + 1 {
+        return 0;
+    }
+    let (lo, hi) = (after + 1, before - 1);
+    outages
+        .iter()
+        .filter(|o| o.reader == reader)
+        .map(|o| {
+            let a = o.from.max(lo);
+            let b = o.until.min(hi);
+            if b >= a {
+                b - a + 1
+            } else {
+                0
+            }
+        })
+        .sum()
 }
 
 /// One maximal run of consecutive per-second detections by a single reader.
@@ -99,6 +131,18 @@ struct CollectorMetrics {
     stale_batches: Counter,
     /// Distinct objects first registered.
     objects_seen: Counter,
+    /// Delivered readings whose logical second preceded the newest
+    /// logical second already buffered (out-of-order arrivals the reorder
+    /// buffer absorbed).
+    reordered: Counter,
+    /// Exact duplicate deliveries discarded by idempotent dedup.
+    deduped: Counter,
+    /// Delivered readings too old even for the reorder window (their
+    /// logical second was already finalized).
+    late_dropped: Counter,
+    /// LEAVE emissions suppressed (or deferred) because the episode's
+    /// reader was known to be down at the silent second.
+    outage_suppressed: Counter,
 }
 
 /// The event-driven raw data collector.
@@ -117,6 +161,19 @@ pub struct DataCollector {
     idle_cutoff: u64,
     /// Max ENTER/LEAVE events kept per object.
     max_events: usize,
+    /// Out-of-order tolerance of [`DataCollector::ingest_delivery`]:
+    /// readings may arrive up to this many seconds after their logical
+    /// second and still be merged into the aggregated timeline. `0`
+    /// keeps the strict in-order contract.
+    reorder_window: u64,
+    /// Readings buffered by logical second, awaiting finalization by
+    /// [`DataCollector::flush_through`].
+    pending: BTreeMap<u64, Vec<(ObjectId, ReaderId)>>,
+    /// Newest logical second seen by `ingest_delivery` (for the
+    /// `reordered` counter).
+    max_logical_seen: Option<u64>,
+    /// Known reader downtime windows (outage-aware event emission).
+    outages: Vec<OutageWindow>,
 }
 
 impl Default for DataCollector {
@@ -128,6 +185,10 @@ impl Default for DataCollector {
             gap_tolerance: 2,
             idle_cutoff: 90,
             max_events: 32,
+            reorder_window: 0,
+            pending: BTreeMap::new(),
+            max_logical_seen: None,
+            outages: Vec::new(),
         }
     }
 }
@@ -149,7 +210,94 @@ impl DataCollector {
             raw_samples: recorder.counter("collector.raw_samples"),
             stale_batches: recorder.counter("collector.stale_batches_dropped"),
             objects_seen: recorder.counter("collector.objects_seen"),
+            reordered: recorder.counter("collector.reordered"),
+            deduped: recorder.counter("collector.deduped"),
+            late_dropped: recorder.counter("collector.late_dropped"),
+            outage_suppressed: recorder.counter("collector.outage_suppressed_leaves"),
         };
+    }
+
+    /// Sets the out-of-order tolerance of
+    /// [`DataCollector::ingest_delivery`] (seconds). With a window of
+    /// `W`, a reading delivered at second `d` with logical second
+    /// `t ≥ d − W` is merged back into its proper place; anything older
+    /// is counted as `collector.late_dropped` and discarded.
+    pub fn set_reorder_window(&mut self, seconds: u64) {
+        self.reorder_window = seconds;
+    }
+
+    /// The out-of-order tolerance in force.
+    pub fn reorder_window(&self) -> u64 {
+        self.reorder_window
+    }
+
+    /// Registers a known reader downtime window `[from, until]`
+    /// (inclusive). During it, silence from `reader` no longer emits a
+    /// LEAVE event (the LEAVE is deferred to the first silent second
+    /// after the reader revives), and a same-reader re-detection after
+    /// the outage continues its episode instead of splitting a new one.
+    pub fn note_outage(&mut self, reader: ReaderId, from: u64, until: u64) {
+        self.outages.push(OutageWindow {
+            reader,
+            from,
+            until,
+        });
+    }
+
+    /// Ingests delivery-tagged readings: each `(logical_second, object,
+    /// reader)` triple was *generated* at `logical_second` but only
+    /// *arrived* at `delivery_second`. Readings are buffered per logical
+    /// second — duplicates of an already-buffered `(object, reader)` pair
+    /// are discarded idempotently — and the timeline is finalized up to
+    /// `delivery_second − reorder_window` on every call. Readings whose
+    /// logical second was already finalized are dropped (and counted).
+    pub fn ingest_delivery(
+        &mut self,
+        delivery_second: u64,
+        readings: &[(u64, ObjectId, ReaderId)],
+    ) {
+        for &(logical, object, reader) in readings {
+            if self.current_second.is_some_and(|cur| logical <= cur) {
+                self.metrics.late_dropped.inc();
+                continue;
+            }
+            if self.max_logical_seen.is_some_and(|m| logical < m) {
+                self.metrics.reordered.inc();
+            }
+            self.max_logical_seen = Some(self.max_logical_seen.map_or(logical, |m| m.max(logical)));
+            let bucket = self.pending.entry(logical).or_default();
+            if bucket.contains(&(object, reader)) {
+                self.metrics.deduped.inc();
+                continue;
+            }
+            bucket.push((object, reader));
+        }
+        // Nothing is final until the delivery clock has cleared the
+        // window: logical second `s` may still receive readings up to
+        // delivery `s + window`, so the watermark is `delivery - window`
+        // and simply doesn't exist for the first `window` seconds.
+        if let Some(watermark) = delivery_second.checked_sub(self.reorder_window) {
+            self.flush_through(watermark);
+        }
+    }
+
+    /// Finalizes every buffered logical second up to `second`
+    /// (inclusive): each one — including silent ones, which drive LEAVE
+    /// emission and idle accounting — is fed to
+    /// [`DataCollector::ingest_second`] in order. Call once more with the
+    /// final watermark after the stream ends to drain the buffer.
+    pub fn flush_through(&mut self, second: u64) {
+        let start = match self.current_second {
+            Some(cur) => cur + 1,
+            None => match self.pending.keys().next() {
+                Some(&first) => first,
+                None => return,
+            },
+        };
+        for s in start..=second {
+            let batch = self.pending.remove(&s).unwrap_or_default();
+            self.ingest_second(s, &batch);
+        }
     }
 
     /// Ingests all raw readings of one second (any object mix, unordered
@@ -250,20 +398,31 @@ impl DataCollector {
 
         if let Some(reader) = reading {
             st.last_detection = second;
-            let same_episode = st
-                .episodes
-                .last()
-                .is_some_and(|e| e.reader == reader && second - e.last_second <= gap_tolerance + 1);
+            // A same-reader re-detection continues the episode if the gap
+            // fits the tolerance once that reader's known downtime is
+            // excluded — an outage is not evidence the object moved.
+            let same_episode = st.episodes.last().is_some_and(|e| {
+                e.reader == reader
+                    && second - e.last_second
+                        <= gap_tolerance
+                            + 1
+                            + downtime_between(&self.outages, e.reader, e.last_second, second)
+            });
             if same_episode {
                 st.episodes.last_mut().expect("checked").last_second = second;
             } else {
                 // LEAVE of the previous episode (if it hadn't been closed).
                 if let Some(prev) = st.episodes.last() {
                     if prev.last_second < second {
+                        // The second the LEAVE (would have) fired: the
+                        // first reader-up silent second after the last
+                        // detection — identical to what the silent-second
+                        // path emits, so dedup-by-equality still works.
                         let ev = RfidEvent {
                             kind: EventKind::Leave,
                             reader: prev.reader,
-                            second: prev.last_second + 1,
+                            second: first_up_second(&self.outages, prev.reader, prev.last_second)
+                                .min(second),
                         };
                         if st.events.last() != Some(&ev) {
                             push_event(&mut st.events, ev, max_events, &self.metrics.events);
@@ -296,19 +455,34 @@ impl DataCollector {
                 }
             }
         } else {
-            // First silent second after detections = LEAVE event.
+            // First reader-up silent second after detections = LEAVE
+            // event. While the episode's reader is known to be down the
+            // silence is expected, so the LEAVE is suppressed and
+            // deferred to the first silent second after the revival.
             if let Some(ep) = st.episodes.last() {
-                if ep.last_second + 1 == second {
-                    push_event(
-                        &mut st.events,
-                        RfidEvent {
-                            kind: EventKind::Leave,
-                            reader: ep.reader,
-                            second,
-                        },
-                        max_events,
-                        &self.metrics.events,
-                    );
+                let down_now = self
+                    .outages
+                    .iter()
+                    .any(|o| o.reader == ep.reader && (o.from..=o.until).contains(&second));
+                if down_now {
+                    if ep.last_second + 1 == second {
+                        self.metrics.outage_suppressed.inc();
+                    }
+                } else if second > ep.last_second {
+                    let up_silent = (second - ep.last_second)
+                        - downtime_between(&self.outages, ep.reader, ep.last_second, second + 1);
+                    if up_silent == 1 {
+                        push_event(
+                            &mut st.events,
+                            RfidEvent {
+                                kind: EventKind::Leave,
+                                reader: ep.reader,
+                                second,
+                            },
+                            max_events,
+                            &self.metrics.events,
+                        );
+                    }
                 }
             }
         }
@@ -371,6 +545,21 @@ impl DataCollector {
     /// Drops an object's state entirely (e.g. when it exits the building).
     pub fn forget(&mut self, o: ObjectId) {
         self.objects.remove(&o);
+    }
+}
+
+/// The first second after `after` at which `reader` is not inside any
+/// known outage window.
+fn first_up_second(outages: &[OutageWindow], reader: ReaderId, after: u64) -> u64 {
+    let mut s = after + 1;
+    loop {
+        match outages
+            .iter()
+            .find(|o| o.reader == reader && (o.from..=o.until).contains(&s))
+        {
+            Some(o) => s = o.until + 1,
+            None => return s,
+        }
     }
 }
 
@@ -623,5 +812,228 @@ mod tests {
         assert!(c.last_detection(O).is_none());
         assert!(c.last_two_devices(O).is_none());
         assert!(c.events(O).is_empty());
+    }
+
+    /// Clean ingestion of a per-second plan, for comparing against the
+    /// delivery path.
+    fn ingest_clean(plan: &[(u64, Option<ReaderId>)]) -> DataCollector {
+        let mut c = DataCollector::new();
+        feed(&mut c, plan);
+        c
+    }
+
+    #[test]
+    fn in_window_reorder_is_absorbed_exactly() {
+        // Logical seconds 0..=5; reading of second 2 arrives two seconds
+        // late, second 4's arrives one second late.
+        let plan: &[(u64, Option<ReaderId>)] = &[
+            (0, Some(D1)),
+            (1, Some(D1)),
+            (2, Some(D1)),
+            (3, None),
+            (4, Some(D2)),
+            (5, Some(D2)),
+        ];
+        let clean = ingest_clean(plan);
+
+        let mut c = DataCollector::new();
+        c.set_reorder_window(2);
+        c.ingest_delivery(0, &[(0, O, D1)]);
+        c.ingest_delivery(1, &[(1, O, D1)]);
+        c.ingest_delivery(2, &[]);
+        c.ingest_delivery(3, &[]);
+        c.ingest_delivery(4, &[(2, O, D1)]); // 2 s late
+        c.ingest_delivery(5, &[(4, O, D2), (5, O, D2)]); // 1 s late + on time
+        c.flush_through(5);
+
+        let (ca, cc) = (c.aggregated(O).unwrap(), clean.aggregated(O).unwrap());
+        assert_eq!(ca.start_second, cc.start_second);
+        assert_eq!(ca.entries, cc.entries);
+        assert_eq!(c.last_two_devices(O), clean.last_two_devices(O));
+        assert_eq!(c.events(O), clean.events(O));
+        assert_eq!(c.current_second(), clean.current_second());
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_idempotent() {
+        let plan: &[(u64, Option<ReaderId>)] = &[(0, Some(D1)), (1, Some(D1)), (2, None)];
+        let clean = ingest_clean(plan);
+
+        let mut c = DataCollector::new();
+        c.set_reorder_window(1);
+        c.ingest_delivery(0, &[(0, O, D1), (0, O, D1)]);
+        c.ingest_delivery(1, &[(1, O, D1)]);
+        c.ingest_delivery(2, &[(1, O, D1)]); // duplicate, one second later
+        c.flush_through(2);
+
+        assert_eq!(
+            c.aggregated(O).unwrap().entries,
+            clean.aggregated(O).unwrap().entries
+        );
+        assert_eq!(c.events(O), clean.events(O));
+    }
+
+    #[test]
+    fn beyond_window_readings_are_late_dropped() {
+        let mut c = DataCollector::new();
+        c.set_reorder_window(1);
+        c.ingest_delivery(0, &[(0, O, D1)]);
+        c.ingest_delivery(5, &[]); // finalizes through second 4
+                                   // Logical second 3 was already finalized: dropped, not merged.
+        c.ingest_delivery(6, &[(3, O, D2)]);
+        c.flush_through(6);
+        let agg = c.aggregated(O).unwrap();
+        assert_eq!(agg.entry_at(3), Some(None), "late reading discarded");
+        assert_eq!(c.last_detection(O), Some((D1, 0)));
+    }
+
+    #[test]
+    fn window_zero_delivery_matches_ingest_second() {
+        let plan: &[(u64, Option<ReaderId>)] =
+            &[(0, Some(D1)), (1, None), (2, Some(D2)), (3, None)];
+        let clean = ingest_clean(plan);
+        let mut c = DataCollector::new();
+        for &(s, reading) in plan {
+            match reading {
+                Some(r) => c.ingest_delivery(s, &[(s, O, r)]),
+                None => c.ingest_delivery(s, &[]),
+            }
+        }
+        assert_eq!(
+            c.aggregated(O).unwrap().entries,
+            clean.aggregated(O).unwrap().entries
+        );
+        assert_eq!(c.events(O), clean.events(O));
+        assert_eq!(c.current_second(), clean.current_second());
+    }
+
+    #[test]
+    fn outage_defers_leave_until_revival() {
+        let mut c = DataCollector::new();
+        c.note_outage(D1, 3, 6);
+        feed(
+            &mut c,
+            &[
+                (0, Some(D1)),
+                (1, Some(D1)),
+                (2, Some(D1)),
+                (3, None), // outage starts: no LEAVE
+                (4, None),
+                (5, None),
+                (6, None),
+                (7, None), // first up silent second: deferred LEAVE
+                (8, None),
+            ],
+        );
+        let ev = c.events(O);
+        assert_eq!(
+            ev.last(),
+            Some(&RfidEvent {
+                kind: EventKind::Leave,
+                reader: D1,
+                second: 7
+            }),
+            "LEAVE deferred to the first post-outage silent second, got {ev:?}"
+        );
+        assert_eq!(
+            ev.iter().filter(|e| e.kind == EventKind::Leave).count(),
+            1,
+            "exactly one LEAVE"
+        );
+    }
+
+    #[test]
+    fn outage_extends_episode_gap_tolerance() {
+        // Silence 3..=6 is a known outage; re-detection at 7 is within
+        // the effective tolerance (7-2 = 5 ≤ 3 + 4 downtime seconds), so
+        // the episode continues instead of splitting.
+        let mut c = DataCollector::new();
+        c.note_outage(D1, 3, 6);
+        feed(
+            &mut c,
+            &[
+                (0, Some(D1)),
+                (1, Some(D1)),
+                (2, Some(D1)),
+                (3, None),
+                (4, None),
+                (5, None),
+                (6, None),
+                (7, Some(D1)),
+            ],
+        );
+        assert_eq!(
+            c.last_two_devices(O),
+            Some((D1, None)),
+            "one continued episode, not an ENTER/LEAVE/ENTER split"
+        );
+        // Without the outage note the same silence splits the episode.
+        let mut u = DataCollector::new();
+        feed(
+            &mut u,
+            &[
+                (0, Some(D1)),
+                (1, Some(D1)),
+                (2, Some(D1)),
+                (3, None),
+                (4, None),
+                (5, None),
+                (6, None),
+                (7, Some(D1)),
+            ],
+        );
+        assert_eq!(u.last_two_devices(O), Some((D1, Some(D1))));
+    }
+
+    #[test]
+    fn handoff_during_outage_closes_previous_episode_once() {
+        // D1 goes down at 3; the object shows up at D2 at 5 while D1 is
+        // still down. Exactly one LEAVE(D1) is emitted.
+        let mut c = DataCollector::new();
+        c.note_outage(D1, 3, 8);
+        feed(
+            &mut c,
+            &[
+                (0, Some(D1)),
+                (1, Some(D1)),
+                (2, Some(D1)),
+                (3, None),
+                (4, None),
+                (5, Some(D2)),
+                (6, Some(D2)),
+            ],
+        );
+        let leaves: Vec<_> = c
+            .events(O)
+            .iter()
+            .filter(|e| e.kind == EventKind::Leave && e.reader == D1)
+            .collect();
+        assert_eq!(leaves.len(), 1, "got {leaves:?}");
+        assert_eq!(c.last_two_devices(O), Some((D1, Some(D2))));
+    }
+
+    #[test]
+    fn no_outage_notes_keep_behavior_identical() {
+        // The outage-aware logic degrades to the classic semantics when
+        // no windows were registered: replay an eventful plan both ways.
+        let plan: &[(u64, Option<ReaderId>)] = &[
+            (0, Some(D1)),
+            (1, None),
+            (2, Some(D1)),
+            (3, None),
+            (4, None),
+            (5, None),
+            (6, Some(D2)),
+            (7, None),
+            (8, Some(D3)),
+        ];
+        let c = ingest_clean(plan);
+        // Expected values pinned from the pre-fault-layer collector.
+        assert_eq!(c.last_two_devices(O), Some((D2, Some(D3))));
+        let kinds: Vec<(EventKind, u64)> = c.events(O).iter().map(|e| (e.kind, e.second)).collect();
+        assert!(kinds.contains(&(EventKind::Leave, 3)));
+        assert!(kinds.contains(&(EventKind::Enter, 6)));
+        assert!(kinds.contains(&(EventKind::Leave, 7)));
+        assert!(kinds.contains(&(EventKind::Enter, 8)));
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::{
     metrics::{self, Mean},
-    ExperimentParams, GroundTruth, ReadingGenerator, SimWorld, TraceGenerator,
+    ExperimentParams, FaultInjector, GroundTruth, ReadingGenerator, SimWorld, TraceGenerator,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -212,6 +212,26 @@ impl Experiment {
         // 2. Stream seconds into the collector; evaluate at timestamps.
         let mut collector = DataCollector::new();
         collector.set_recorder(recorder);
+
+        // Fault layer (off by default). When active, readings pass through
+        // the injector and the collector ingests delivery-tagged batches
+        // behind a reorder window matching the injector's jitter bound;
+        // evaluation then happens at the *watermark* (delivery second
+        // minus the window), the moment a logical second is final. With
+        // `W = 0` faults the watermark equals the second, and an inactive
+        // plan takes the exact classic path.
+        let mut injector = p.faults.is_active().then(|| {
+            let mut inj = FaultInjector::new(p.faults, w.readers.len(), p.duration);
+            inj.set_recorder(recorder);
+            inj
+        });
+        let jitter = p.faults.max_delay_seconds;
+        if let Some(inj) = &injector {
+            collector.set_reorder_window(jitter);
+            for o in inj.outages() {
+                collector.note_outage(o.reader, o.from, o.until);
+            }
+        }
         let cache = ParticleCache::new();
         let pf_config = PreprocessorConfig {
             num_particles: p.num_particles,
@@ -241,13 +261,38 @@ impl Experiment {
         let mut err_pf = Mean::default();
         let mut err_sm = Mean::default();
 
-        for second in 0..=p.duration {
-            let detections = reading_gen.detections_at(&mut rng_sense, &traces, second);
-            collector.ingest_second(second, &detections);
+        let horizon = if injector.is_some() {
+            p.duration + jitter
+        } else {
+            p.duration
+        };
+        for second in 0..=horizon {
+            match injector.as_mut() {
+                None => {
+                    let detections = reading_gen.detections_at(&mut rng_sense, &traces, second);
+                    collector.ingest_second(second, &detections);
+                }
+                Some(inj) => {
+                    // Past `duration` nothing new is generated; the extra
+                    // seconds only drain the injector's jitter buffer.
+                    let detections = if second <= p.duration {
+                        reading_gen.detections_at(&mut rng_sense, &traces, second)
+                    } else {
+                        Vec::new()
+                    };
+                    let delivered = inj.step(second, &detections);
+                    collector.ingest_delivery(second, &delivered);
+                }
+            }
+            let watermark = if injector.is_some() {
+                second.saturating_sub(jitter)
+            } else {
+                second
+            };
 
-            while next_ts < timestamps.len() && timestamps[next_ts] == second {
+            while next_ts < timestamps.len() && timestamps[next_ts] == watermark {
                 next_ts += 1;
-                let now = second;
+                let now = watermark;
                 recorder.add("sim.timestamps_evaluated", 1);
 
                 // Both probabilistic indexes over all objects. One pass
@@ -477,6 +522,78 @@ mod tests {
     fn metrics_absent_when_observability_off() {
         let (_, snapshot) = Experiment::new(ExperimentParams::smoke()).run_with_metrics();
         assert!(snapshot.is_none());
+    }
+
+    #[test]
+    fn inactive_fault_plan_takes_the_classic_path_bit_for_bit() {
+        let base = ExperimentParams::smoke();
+        let clean = Experiment::new(base).run();
+        // An all-zero plan — even with a different fault seed — must not
+        // perturb a single RNG draw or collector call.
+        let inert = Experiment::new(ExperimentParams {
+            faults: crate::FaultPlan {
+                seed: 0xDEAD_BEEF,
+                ..crate::FaultPlan::none()
+            },
+            ..base
+        })
+        .run();
+        assert_eq!(clean, inert);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_and_parallelism_invariant() {
+        let params = ExperimentParams {
+            faults: crate::FaultPlan {
+                drop_probability: 0.2,
+                duplicate_probability: 0.1,
+                max_delay_seconds: 3,
+                outage_rate: 0.002,
+                ..crate::FaultPlan::none()
+            },
+            ..ExperimentParams::smoke()
+        };
+        let r1 = Experiment::new(params).run();
+        let r2 = Experiment::new(params).run();
+        assert_eq!(r1, r2, "same fault plan must reproduce bit-for-bit");
+        let r4 = Experiment::new(ExperimentParams {
+            parallelism: Some(4),
+            ..params
+        })
+        .run();
+        assert_eq!(r1, r4, "worker count must not leak into faulted results");
+        assert!(r1.range_queries_evaluated > 0);
+    }
+
+    #[test]
+    fn absorbable_faults_leave_answers_unchanged() {
+        let base = ExperimentParams::smoke();
+        let clean = Experiment::new(base).run();
+
+        // Duplicates only: the collector's idempotent ingest absorbs every
+        // copy, so the report matches the fault-free run exactly.
+        let dup_only = Experiment::new(ExperimentParams {
+            faults: crate::FaultPlan {
+                duplicate_probability: 0.5,
+                ..crate::FaultPlan::none()
+            },
+            ..base
+        })
+        .run();
+        assert_eq!(clean, dup_only, "duplicates must be absorbed exactly");
+
+        // Delays bounded by the reorder window only: the watermark waits
+        // out the jitter, so every reading lands before its logical second
+        // is evaluated.
+        let delay_only = Experiment::new(ExperimentParams {
+            faults: crate::FaultPlan {
+                max_delay_seconds: 4,
+                ..crate::FaultPlan::none()
+            },
+            ..base
+        })
+        .run();
+        assert_eq!(clean, delay_only, "in-window reorder must be absorbed");
     }
 
     #[test]

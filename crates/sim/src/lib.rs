@@ -10,6 +10,10 @@
 //! * [`ReadingGenerator`] — the *raw reading generator*: checks each
 //!   object against the reader deployment through the stochastic
 //!   [`ripq_rfid::SensingModel`] and emits per-second detections.
+//! * [`FaultPlan`] / [`FaultInjector`] — a deterministic fault-injection
+//!   layer between the reading generator and the collector: seeded
+//!   drops, duplicates, bounded delivery jitter and per-reader burst
+//!   outages for chaos testing the pipeline's robustness contract.
 //! * [`GroundTruth`] — the *ground truth query evaluation* module: exact
 //!   range memberships and exact network-distance kNN sets from the true
 //!   traces.
@@ -23,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod experiment;
+mod faults;
 mod ground_truth;
 pub mod metrics;
 mod params;
@@ -32,6 +37,7 @@ pub mod viz;
 mod world;
 
 pub use experiment::{AccuracyAccumulator, AccuracyReport, Experiment};
+pub use faults::{derive_fault_seed, random_outages, FaultInjector, FaultPlan, TaggedReading};
 pub use ground_truth::GroundTruth;
 pub use params::ExperimentParams;
 pub use readings::{ReaderOutage, ReadingGenerator};

@@ -1,5 +1,6 @@
 //! Experiment parameters — Table 2 of the paper plus simulation knobs.
 
+use crate::FaultPlan;
 use ripq_rfid::{DeploymentStrategy, SensingModel};
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +71,12 @@ pub struct ExperimentParams {
     /// sequential). Accuracy results are bit-identical for every setting:
     /// each object filters on its own deterministic RNG stream.
     pub parallelism: Option<usize>,
+    /// Fault injection applied between the reading generator and the
+    /// collector (see [`FaultPlan`]). [`FaultPlan::none`] (the default)
+    /// keeps the stream clean and the classic ingestion path —
+    /// fault-free runs are bit-identical to what they were before the
+    /// fault layer existed.
+    pub faults: FaultPlan,
     /// Collect pipeline metrics during the run (see
     /// [`Experiment::run_with_metrics`](crate::Experiment::run_with_metrics)).
     /// Off by default: the disabled recorder reduces every instrument
@@ -105,6 +112,7 @@ impl Default for ExperimentParams {
             kde_bandwidth: 2.0,
             kld_adaptive: false,
             parallelism: None,
+            faults: FaultPlan::none(),
             observability: false,
             seed: 0xED8_2013,
         }

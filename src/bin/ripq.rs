@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ripq::core::RipqError;
 use ripq::floorplan::{
     multi_floor_office, office_building, shopping_mall, subway_station, FloorPlan, MallParams,
     MultiFloorParams, OfficeParams, SubwayParams,
@@ -16,7 +17,7 @@ use ripq::floorplan::{
 use ripq::pf::{reconstruct_trajectory, TrajectoryConfig};
 use ripq::rfid::HistoryCollector;
 use ripq::sim::{
-    Experiment, ExperimentParams, ReadingGenerator, SimWorld, SvgScene, TraceGenerator,
+    Experiment, ExperimentParams, FaultPlan, ReadingGenerator, SimWorld, SvgScene, TraceGenerator,
 };
 
 fn main() {
@@ -48,6 +49,8 @@ fn main() {
                  plan [office|mall|subway|tower] [--svg FILE]\n\
                  simulate [--objects N] [--duration S] [--seed N] [--parallelism N]\n\
                  \x20        [--metrics-json FILE] [--trace]\n\
+                 \x20        [--fault-drop P] [--fault-dup P] [--fault-delay S]\n\
+                 \x20        [--fault-outage-rate P] [--fault-outage-mean S] [--fault-seed N]\n\
                  trace [--object N] [--duration S] [--seed N] [--svg FILE]\n\
                  defaults"
             );
@@ -110,9 +113,34 @@ fn cmd_plan(args: &[String]) {
     }
 }
 
+/// Builds the fault plan from `--fault-*` flags; all-zero (inactive) when
+/// none are given, so plain `ripq simulate` keeps the classic pipeline.
+fn fault_plan_from_args(args: &[String]) -> FaultPlan {
+    let defaults = FaultPlan::none();
+    FaultPlan {
+        drop_probability: parse_or(flag(args, "--fault-drop"), 0.0),
+        duplicate_probability: parse_or(flag(args, "--fault-dup"), 0.0),
+        max_delay_seconds: parse_or(flag(args, "--fault-delay"), 0),
+        outage_rate: parse_or(flag(args, "--fault-outage-rate"), 0.0),
+        outage_mean_seconds: parse_or(
+            flag(args, "--fault-outage-mean"),
+            defaults.outage_mean_seconds,
+        ),
+        seed: parse_or(flag(args, "--fault-seed"), defaults.seed),
+    }
+}
+
+/// Persists a metrics snapshot, converting the OS error into the
+/// workspace error currency instead of panicking on e.g. an unwritable
+/// path.
+fn write_metrics_json(path: &str, json: &str) -> Result<(), RipqError> {
+    std::fs::write(path, json).map_err(|e| RipqError::Io(format!("{path}: {e}")))
+}
+
 fn cmd_simulate(args: &[String]) {
     let metrics_json = flag(args, "--metrics-json");
     let trace_spans = args.iter().any(|a| a == "--trace");
+    let faults = fault_plan_from_args(args);
     let params = ExperimentParams {
         num_objects: parse_or(flag(args, "--objects"), 60),
         duration: parse_or(flag(args, "--duration"), 240),
@@ -124,6 +152,7 @@ fn cmd_simulate(args: &[String]) {
         range_queries_per_timestamp: 40,
         knn_query_points: 12,
         observability: metrics_json.is_some() || trace_spans,
+        faults,
         ..Default::default()
     };
     println!(
@@ -133,6 +162,18 @@ fn cmd_simulate(args: &[String]) {
         params.seed,
         params.parallelism.unwrap_or(1).max(1)
     );
+    if faults.is_active() {
+        println!(
+            "fault plan: drop {:.3}, dup {:.3}, delay <= {} s, outage rate {:.4} \
+             (mean {:.0} s, seed {})",
+            faults.drop_probability,
+            faults.duplicate_probability,
+            faults.max_delay_seconds,
+            faults.outage_rate,
+            faults.outage_mean_seconds,
+            faults.seed
+        );
+    }
     let (r, snapshot) = Experiment::new(params).run_with_metrics();
     println!(
         "range-query KL divergence: PF {:.3}  SM {:.3}",
@@ -152,8 +193,13 @@ fn cmd_simulate(args: &[String]) {
     );
     if let Some(snapshot) = snapshot {
         if let Some(path) = metrics_json {
-            std::fs::write(&path, snapshot.to_json()).expect("write metrics JSON");
-            println!("wrote pipeline metrics to {path}");
+            match write_metrics_json(&path, &snapshot.to_json()) {
+                Ok(()) => println!("wrote pipeline metrics to {path}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         if trace_spans {
             eprint!("{}", snapshot.render_trace());

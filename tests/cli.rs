@@ -57,6 +57,64 @@ fn trace_reconstructs_and_reports_error() {
 }
 
 #[test]
+fn simulate_reports_fault_plan_and_stays_deterministic() {
+    let args = [
+        "simulate",
+        "--objects",
+        "6",
+        "--duration",
+        "80",
+        "--fault-drop",
+        "0.2",
+        "--fault-dup",
+        "0.1",
+        "--fault-delay",
+        "2",
+    ];
+    let out = ripq(&args);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("fault plan: drop 0.200, dup 0.100, delay <= 2 s"),
+        "fault plan not echoed: {text}"
+    );
+    assert!(text.contains("range-query KL divergence"));
+    // Same flags, same numbers: the faulted CLI path is reproducible.
+    let again = String::from_utf8(ripq(&args).stdout).unwrap();
+    assert_eq!(text, again);
+    // Without fault flags, no fault plan line appears.
+    let clean = String::from_utf8(ripq(&["simulate", "--objects", "6", "--duration", "80"]).stdout)
+        .unwrap();
+    assert!(!clean.contains("fault plan"));
+}
+
+#[test]
+fn unwritable_metrics_json_is_a_clean_error() {
+    let dir = std::env::temp_dir().join("ripq_cli_test_missing_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("metrics.json"); // parent doesn't exist
+    let out = ripq(&[
+        "simulate",
+        "--objects",
+        "4",
+        "--duration",
+        "60",
+        "--metrics-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "must exit nonzero");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("error: io error"),
+        "expected a RipqError::Io message, got: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "must fail cleanly, not panic: {err}"
+    );
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = ripq(&["bogus"]);
     assert!(!out.status.success());

@@ -366,6 +366,179 @@ proptest! {
         );
     }
 
+    /// Algorithm 2's working set: the collector never reports devices
+    /// other than the two most recent detecting episodes' readers, and
+    /// they match a straightforward reference model of the episode rules
+    /// (same reader within gap tolerance extends; anything else opens a
+    /// new episode).
+    #[test]
+    fn collector_keeps_two_most_recent_devices(
+        detections in proptest::collection::vec(
+            proptest::option::of((0u32..3, 0u32..4)), 5..80
+        ),
+    ) {
+        // Reference model: per-object episode list (reader, last_second),
+        // mirroring the collector's merge rule `gap <= tolerance + 1`
+        // with the default tolerance of 2.
+        let mut model: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
+        let mut c = DataCollector::new();
+        for (s, step) in detections.iter().enumerate() {
+            let second = s as u64;
+            let det: Vec<(ObjectId, ReaderId)> = step
+                .map(|(o, r)| (ObjectId::new(o), ReaderId::new(r)))
+                .into_iter()
+                .collect();
+            c.ingest_second(second, &det);
+            if let Some((o, r)) = *step {
+                let eps = model.entry(o).or_default();
+                match eps.last_mut() {
+                    Some((reader, last)) if *reader == r && second - *last <= 3 => {
+                        *last = second;
+                    }
+                    _ => eps.push((r, second)),
+                }
+            }
+        }
+        for (o, eps) in &model {
+            let got = c.last_two_devices(ObjectId::new(*o));
+            let expect = match eps.as_slice() {
+                [] => None,
+                [only] => Some((ReaderId::new(only.0), None)),
+                [.., prev, last] => {
+                    Some((ReaderId::new(prev.0), Some(ReaderId::new(last.0))))
+                }
+            };
+            prop_assert_eq!(got, expect, "device window mismatch for object {}", o);
+        }
+    }
+
+    /// Detection-range events are well-formed per reader: an object never
+    /// LEAVEs a range it has not ENTERed, and never ENTERs one twice
+    /// without an intervening LEAVE. (Multiple LEAVEs per ENTER are legal:
+    /// a LEAVE fires at the first silent second, yet the episode resumes —
+    /// without a fresh ENTER — if the same reader re-detects within the
+    /// gap tolerance.) Only checked while the bounded event log has not
+    /// evicted history.
+    #[test]
+    fn enter_precedes_leave_per_device(
+        detections in proptest::collection::vec(
+            proptest::option::of((0u32..2, 0u32..3)), 5..60
+        ),
+    ) {
+        use ripq::rfid::EventKind;
+        let mut c = DataCollector::new();
+        for (s, step) in detections.iter().enumerate() {
+            let det: Vec<(ObjectId, ReaderId)> = step
+                .map(|(o, r)| (ObjectId::new(o), ReaderId::new(r)))
+                .into_iter()
+                .collect();
+            c.ingest_second(s as u64, &det);
+        }
+        for o in (0..2).map(ObjectId::new) {
+            let events = c.events(o);
+            prop_assert!(events.len() <= 32, "event log is bounded");
+            prop_assume!(events.len() < 32); // eviction truncates prefixes
+            for w in events.windows(2) {
+                prop_assert!(
+                    w[0].second <= w[1].second,
+                    "events out of order for {o}"
+                );
+            }
+            let mut last_enter: BTreeMap<u32, u64> = BTreeMap::new();
+            let mut last_kind: BTreeMap<u32, EventKind> = BTreeMap::new();
+            for e in events {
+                match e.kind {
+                    EventKind::Enter => {
+                        prop_assert!(
+                            last_kind.get(&e.reader.raw()) != Some(&EventKind::Enter),
+                            "{o} entered {} twice without leaving", e.reader
+                        );
+                        last_enter.insert(e.reader.raw(), e.second);
+                    }
+                    EventKind::Leave => {
+                        let entered = last_enter.get(&e.reader.raw());
+                        prop_assert!(
+                            entered.is_some(),
+                            "{o} left {} without entering", e.reader
+                        );
+                        prop_assert!(
+                            entered.is_some_and(|&t| t < e.second),
+                            "{o}: LEAVE not after ENTER at {}", e.reader
+                        );
+                    }
+                }
+                last_kind.insert(e.reader.raw(), e.kind);
+            }
+        }
+    }
+
+    /// The tentpole's absorbability contract as a property: ANY delivery
+    /// schedule that respects the reorder window, with any duplication
+    /// pattern, leaves the collector's aggregated state identical to
+    /// clean in-order ingestion.
+    #[test]
+    fn windowed_reorder_and_duplicates_are_absorbed(
+        steps in proptest::collection::vec(
+            (proptest::option::of((0u32..3, 0u32..4)), 0u64..4, 0u64..2),
+            5..60
+        ),
+    ) {
+        const WINDOW: u64 = 3;
+        let mut clean = DataCollector::new();
+        let mut faulted = DataCollector::new();
+        faulted.set_reorder_window(WINDOW);
+        let mut deliveries: BTreeMap<u64, Vec<(u64, ObjectId, ReaderId)>> = BTreeMap::new();
+        let last = steps.len() as u64 - 1;
+        for (s, (step, delay, dup)) in steps.iter().enumerate() {
+            let second = s as u64;
+            let det: Vec<(ObjectId, ReaderId)> = step
+                .map(|(o, r)| (ObjectId::new(o), ReaderId::new(r)))
+                .into_iter()
+                .collect();
+            clean.ingest_second(second, &det);
+            for &(o, r) in &det {
+                let slot = deliveries.entry(second + delay).or_default();
+                slot.push((second, o, r));
+                if *dup == 1 {
+                    slot.push((second, o, r));
+                }
+            }
+        }
+        for s in 0..=last + WINDOW {
+            let batch = deliveries.remove(&s).unwrap_or_default();
+            faulted.ingest_delivery(s, &batch);
+        }
+        faulted.flush_through(last);
+        for o in (0..3).map(ObjectId::new) {
+            prop_assert_eq!(
+                clean.last_two_devices(o),
+                faulted.last_two_devices(o),
+                "device window diverged for {}", o
+            );
+            prop_assert_eq!(
+                clean.last_episode(o),
+                faulted.last_episode(o),
+                "episode diverged for {}", o
+            );
+            prop_assert_eq!(
+                clean.events(o),
+                faulted.events(o),
+                "events diverged for {}", o
+            );
+            match (clean.aggregated(o), faulted.aggregated(o)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.start_second, b.start_second);
+                    prop_assert_eq!(&a.entries, &b.entries);
+                }
+                (a, b) => prop_assert!(
+                    false,
+                    "presence mismatch: {:?} vs {:?}", a.is_some(), b.is_some()
+                ),
+            }
+        }
+    }
+
     #[test]
     fn collector_retention_is_bounded(
         detections in proptest::collection::vec((0u32..5, 0u32..6), 10..300),

@@ -1,0 +1,18 @@
+//! Fire fixture: a fault-injection site that draws its drop decision
+//! from the ambient OS-entropy generator instead of a seed-derived
+//! stream. Chaos runs must be bit-for-bit replayable, so every fault
+//! decision has to come from `derive_fault_seed`-style streams; the
+//! ambient draw must trip R1. Expected: R1 ×1, nothing else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Decides whether to drop one reading.
+///
+/// The ambient generator is reseeded by the OS per process, so two runs
+/// of the same fault plan disagree — exactly the nondeterminism the
+/// lint exists to keep out of the injection path.
+pub fn drop_reading(probability: f64) -> bool {
+    let mut rng = rand::thread_rng();
+    rng.random::<f64>() < probability
+}

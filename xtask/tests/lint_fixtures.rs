@@ -21,12 +21,13 @@ fn every_rule_fires_on_the_fire_workspace() {
         *by_rule.entry(d.rule_id).or_insert(0) += 1;
     }
     // R1: thread_rng + Instant::now (core) + Instant::now in the
-    // obs-style span recorder. R2: for-loop over a HashMap field +
-    // .keys(). R3: reasonless-suppressed unwrap + expect + panic!.
+    // obs-style span recorder + the ambient-RNG draw in the sim-style
+    // fault injector. R2: for-loop over a HashMap field + .keys().
+    // R3: reasonless-suppressed unwrap + expect + panic!.
     // R4: virtual root manifest (2 problems) + core crate manifest (2);
-    // the obs fixture crate carries its hygiene attrs so it adds none.
-    // R5: exact == against a literal + lossy `as f32` cast.
-    assert_eq!(by_rule.get("R1"), Some(&3), "{by_rule:?}");
+    // the obs and sim fixture crates carry their hygiene attrs so they
+    // add none. R5: exact == against a literal + lossy `as f32` cast.
+    assert_eq!(by_rule.get("R1"), Some(&4), "{by_rule:?}");
     assert_eq!(by_rule.get("R2"), Some(&2), "{by_rule:?}");
     assert_eq!(by_rule.get("R3"), Some(&3), "{by_rule:?}");
     assert_eq!(by_rule.get("R4"), Some(&4), "{by_rule:?}");
@@ -39,6 +40,14 @@ fn every_rule_fires_on_the_fire_workspace() {
             .active()
             .any(|d| d.rule_id == "R1" && d.file.contains("crates/obs/")),
         "Instant::now() in an obs-style recorder must fire R1"
+    );
+    // Fault injection is result-producing too: a faulted run must replay
+    // bit-for-bit, so an ambient-RNG draw in the injector fires R1.
+    assert!(
+        report
+            .active()
+            .any(|d| d.rule_id == "R1" && d.file.contains("crates/sim/")),
+        "an ambient-RNG draw in a fault-injection site must fire R1"
     );
     // A suppression without ` -- reason` does not suppress, and the
     // diagnostic explains why.
