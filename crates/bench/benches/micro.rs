@@ -301,6 +301,98 @@ fn bench_system_evaluate(c: &mut Criterion) {
     });
 }
 
+/// Durable-checkpoint tax on the streaming ingest path: a cadence sweep
+/// against a no-checkpoint baseline over the same 50-object workload.
+///
+/// Each measured iteration ingests one second of detections with
+/// automatic checkpointing at the given cadence (`every = 0` is the
+/// baseline: no snapshot is ever due, so the checkpoint branch costs one
+/// predicted-false comparison). The explicit delta lines under the group
+/// price each cadence against the baseline the same way the
+/// observability-tax line does, so "what does `--checkpoint-every N`
+/// cost per ingested second" is visible at a glance.
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    use ripq_core::{IndoorQuerySystem, SystemConfig};
+
+    let dir = std::env::temp_dir().join("ripq-bench-checkpoint");
+    std::fs::create_dir_all(&dir).expect("bench checkpoint dir");
+
+    // Fresh system per cadence with a 20-second warm history, so every
+    // snapshot carries a realistic cache and collector watermark.
+    let build = |every: u64, dir: &std::path::Path| {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let cfg = SystemConfig {
+            checkpoint_every: every,
+            ..SystemConfig::default()
+        };
+        let mut system = IndoorQuerySystem::new(plan, cfg, 11);
+        if every > 0 {
+            system.set_checkpoint_dir(dir);
+        }
+        let reader_ids: Vec<_> = system.readers().iter().map(|r| r.id()).collect();
+        for s in 0..20u64 {
+            let det: Vec<_> = (0..50u32)
+                .map(|i| (ObjectId::new(i), reader_ids[((i + s as u32) % 19) as usize]))
+                .collect();
+            system.ingest_detections(s, &det);
+        }
+        (system, reader_ids)
+    };
+
+    const CADENCES: [u64; 4] = [0, 1, 8, 32];
+    let mut group = c.benchmark_group("checkpoint_overhead");
+    for every in CADENCES {
+        let (mut system, reader_ids) = build(every, &dir);
+        let mut now = 20u64;
+        group.bench_with_input(BenchmarkId::from_parameter(every), &every, |b, _| {
+            b.iter(|| {
+                let det: Vec<_> = (0..50u32)
+                    .map(|i| {
+                        (
+                            ObjectId::new(i),
+                            reader_ids[((i + now as u32) % 19) as usize],
+                        )
+                    })
+                    .collect();
+                system.ingest_detections(now, &det);
+                now += 1;
+                black_box(now)
+            })
+        });
+        assert!(
+            system.last_checkpoint_error().is_none(),
+            "bench snapshots must write cleanly: {:?}",
+            system.last_checkpoint_error()
+        );
+    }
+    group.finish();
+
+    // Paired per-second ingest cost, each cadence vs the no-checkpoint
+    // baseline, over an identical 200-second drive.
+    let reps = 200u64;
+    let mut costs: Vec<(u64, std::time::Duration)> = Vec::new();
+    for every in CADENCES {
+        let (mut system, reader_ids) = build(every, &dir);
+        let t = std::time::Instant::now();
+        for s in 20..20 + reps {
+            let det: Vec<_> = (0..50u32)
+                .map(|i| (ObjectId::new(i), reader_ids[((i + s as u32) % 19) as usize]))
+                .collect();
+            system.ingest_detections(s, &det);
+        }
+        costs.push((every, t.elapsed() / reps as u32));
+    }
+    let base = costs[0].1;
+    for (every, per_second) in &costs[1..] {
+        let delta = (per_second.as_secs_f64() - base.as_secs_f64()) / base.as_secs_f64() * 100.0;
+        println!(
+            "checkpoint_overhead: every={every} per-second={per_second:.2?} \
+             baseline={base:.2?} delta={delta:+.2}%"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_resampling,
@@ -312,6 +404,7 @@ criterion_group!(
     bench_preprocess_parallel,
     bench_symbolic_index,
     bench_ptknn,
-    bench_system_evaluate
+    bench_system_evaluate,
+    bench_checkpoint_overhead
 );
 criterion_main!(benches);

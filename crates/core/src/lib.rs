@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod clock;
 mod closest_pairs;
 pub mod continuous;
@@ -42,6 +43,7 @@ mod range_eval;
 mod result;
 mod system;
 
+pub use checkpoint::RecoveryOutcome;
 pub use clock::{Clock, ClockInstant, TimingMode};
 pub use closest_pairs::{evaluate_closest_pairs, ClosestPairsQuery, ObjectPair};
 pub use error::{CoreError, RipqError};
@@ -56,4 +58,5 @@ pub use query::{KnnQuery, QueryId, RangeQuery};
 pub use range_eval::evaluate_range;
 pub use result::{ProbResult, ResultSet};
 pub use ripq_obs::{MetricsSnapshot, Recorder};
+pub use ripq_pf::DegradationLevel;
 pub use system::{EvaluationReport, EvaluationTimings, IndoorQuerySystem, SystemConfig};

@@ -1,10 +1,11 @@
 //! The end-to-end system facade (Fig. 3 of the paper).
 
+use crate::checkpoint::{self, RecoveryOutcome};
 use crate::clock::{Clock, TimingMode};
 use crate::{
     evaluate_closest_pairs, evaluate_knn_with_paths, evaluate_ptknn, evaluate_range,
     prune_knn_candidates_with_paths, prune_range_candidates, ClosestPairsQuery, CoreError,
-    KnnQuery, ObjectPair, PtknnQuery, QueryId, RangeQuery, ResultSet,
+    KnnQuery, ObjectPair, PtknnQuery, QueryId, RangeQuery, ResultSet, RipqError,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,10 +16,17 @@ use ripq_graph::{
     WalkingGraph,
 };
 use ripq_obs::{MetricsSnapshot, Recorder};
-use ripq_pf::{CacheStats, ParticleCache, ParticlePreprocessor, PreprocessorConfig};
+use ripq_persist::{
+    load_snapshot, quarantine, seal_snapshot, write_atomic, ByteReader, ByteWriter, PersistError,
+};
+use ripq_pf::{
+    CacheStats, DegradationLevel, ParticleCache, ParticlePreprocessor, PreprocessorConfig,
+    SharedParticleCache, SupervisionOptions,
+};
 use ripq_rfid::{deploy_uniform, DataCollector, ObjectId, RawReading, Reader, ReaderId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -65,6 +73,21 @@ pub struct SystemConfig {
     /// across runs and worker counts. Off (default) the recorder is
     /// disabled and every instrument point is a no-op branch.
     pub observability: bool,
+    /// Durable-checkpoint cadence in ingested seconds: when non-zero and
+    /// a checkpoint directory is configured (see
+    /// [`IndoorQuerySystem::set_checkpoint_dir`]), a snapshot is written
+    /// atomically at the *start* of ingesting every due second, so it
+    /// covers exactly the seconds before it. `0` (default) disables
+    /// automatic checkpointing; [`IndoorQuerySystem::checkpoint_now`]
+    /// still works.
+    pub checkpoint_every: u64,
+    /// Per-evaluation deadline budget in deterministic logical cost units
+    /// (`coast seconds × particle count` per object). When the remaining
+    /// budget cannot afford an object's full particle filter, evaluation
+    /// degrades down the ladder — reduced particle count, then the
+    /// paper's uncertainty-region uniform fallback — instead of missing
+    /// the deadline. `None` (default) never degrades.
+    pub query_budget: Option<u64>,
 }
 
 impl Default for SystemConfig {
@@ -82,6 +105,8 @@ impl Default for SystemConfig {
             reorder_window: 0,
             timing: TimingMode::Wall,
             observability: false,
+            checkpoint_every: 0,
+            query_budget: None,
         }
     }
 }
@@ -128,6 +153,14 @@ pub struct EvaluationReport {
     /// Cumulative pipeline metrics since system construction —
     /// `Some` iff [`SystemConfig::observability`] is on.
     pub metrics: Option<MetricsSnapshot>,
+    /// How trustworthy each query's answer is: the worst
+    /// [`DegradationLevel`] over the objects appearing in its results.
+    /// All-[`DegradationLevel::Full`] unless the deadline budget ran out
+    /// or a particle-filter worker was quarantined this pass.
+    pub degradation: BTreeMap<QueryId, DegradationLevel>,
+    /// Per-object answer quality from this pass's supervised
+    /// preprocessing, for callers that inspect the index directly.
+    pub object_degradation: BTreeMap<ObjectId, DegradationLevel>,
 }
 
 /// The RFID + particle-filter indoor spatial query evaluation system.
@@ -163,6 +196,20 @@ pub struct IndoorQuerySystem {
     ptknn_queries: BTreeMap<QueryId, PtknnQuery>,
     closest_pairs_queries: BTreeMap<QueryId, ClosestPairsQuery>,
     next_query: u32,
+    /// Where durable snapshots go; `None` disables all checkpoint IO.
+    checkpoint_dir: Option<PathBuf>,
+    /// Latest second any ingest entry point has seen, i.e. the recovery
+    /// watermark a snapshot covers through.
+    last_ingest_second: Option<u64>,
+    /// Base of the checkpoint cadence: the due second of the most recent
+    /// automatic checkpoint (restored on recovery so the cadence
+    /// continues exactly where the previous life left it).
+    last_checkpoint_second: Option<u64>,
+    /// Rendered error of the most recent failed best-effort checkpoint.
+    last_checkpoint_error: Option<String>,
+    /// Test-support fault injection: panic the particle filter of this
+    /// object for its first N attempts per pass.
+    injected_fault: Option<(ObjectId, usize)>,
 }
 
 impl IndoorQuerySystem {
@@ -194,6 +241,11 @@ impl IndoorQuerySystem {
             ptknn_queries: BTreeMap::new(),
             closest_pairs_queries: BTreeMap::new(),
             next_query: 0,
+            checkpoint_dir: None,
+            last_ingest_second: None,
+            last_checkpoint_second: None,
+            last_checkpoint_error: None,
+            injected_fault: None,
         }
     }
 
@@ -229,12 +281,16 @@ impl IndoorQuerySystem {
 
     /// Ingests pre-aggregated detections for one second.
     pub fn ingest_detections(&mut self, second: u64, detections: &[(ObjectId, ReaderId)]) {
+        self.maybe_checkpoint(second);
         self.collector.ingest_second(second, detections);
+        self.note_ingest(second);
     }
 
     /// Ingests raw sample-level readings for one second.
     pub fn ingest_raw(&mut self, second: u64, raw: &[RawReading]) {
+        self.maybe_checkpoint(second);
         self.collector.ingest_raw_second(second, raw);
+        self.note_ingest(second);
     }
 
     /// Ingests delivery-tagged readings from a degraded transport: each
@@ -248,7 +304,9 @@ impl IndoorQuerySystem {
         delivery_second: u64,
         readings: &[(u64, ObjectId, ReaderId)],
     ) {
+        self.maybe_checkpoint(delivery_second);
         self.collector.ingest_delivery(delivery_second, readings);
+        self.note_ingest(delivery_second);
     }
 
     /// Finalizes all buffered readings with logical second ≤ `second`
@@ -443,14 +501,23 @@ impl IndoorQuerySystem {
         )
         .with_recorder(&self.recorder);
         let cache = self.config.use_cache.then(|| self.cache.shared());
-        let index = preprocessor.process_streamed(
+        let supervision = SupervisionOptions {
+            budget: self.config.query_budget,
+            panic_object: self.injected_fault.map(|(o, _)| o),
+            panic_attempts: self.injected_fault.map_or(1, |(_, a)| a),
+            ..SupervisionOptions::default()
+        };
+        let supervised = preprocessor.process_supervised(
             pass_seed,
             &self.collector,
             &candidates,
             now,
             cache,
             self.config.parallelism,
+            &supervision,
         );
+        let index = supervised.index;
+        let object_degradation = supervised.degradation;
         let preprocessing = clock.since(t_pre);
         self.recorder
             .record_span("evaluate/preprocess", preprocessing);
@@ -542,6 +609,27 @@ impl IndoorQuerySystem {
         let total = clock.since(t_start);
         self.recorder.record_span("evaluate", total);
 
+        // Tag every answer with the worst degradation level among the
+        // objects it reports — a query whose results only involve fully
+        // filtered objects stays `Full` even if others degraded.
+        let tag = |objects: &mut dyn Iterator<Item = ObjectId>| -> DegradationLevel {
+            objects
+                .filter_map(|o| object_degradation.get(&o).copied())
+                .max()
+                .unwrap_or(DegradationLevel::Full)
+        };
+        let mut degradation = BTreeMap::new();
+        for (id, rs) in range_results
+            .iter()
+            .chain(knn_results.iter())
+            .chain(ptknn_results.iter())
+        {
+            degradation.insert(*id, tag(&mut rs.iter().map(|(o, _)| o)));
+        }
+        for (id, pairs) in &closest_pairs_results {
+            degradation.insert(*id, tag(&mut pairs.iter().flat_map(|p| [p.a, p.b])));
+        }
+
         EvaluationReport {
             range_results,
             knn_results,
@@ -558,6 +646,8 @@ impl IndoorQuerySystem {
                 total,
             },
             metrics: obs_on.then(|| self.recorder.snapshot()),
+            degradation,
+            object_degradation,
         }
     }
 
@@ -566,6 +656,171 @@ impl IndoorQuerySystem {
     /// fold their own metrics into the same snapshot.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Configures where durable snapshots are written. Automatic
+    /// checkpointing additionally needs
+    /// [`SystemConfig::checkpoint_every`] > 0; explicit
+    /// [`IndoorQuerySystem::checkpoint_now`] calls only need the
+    /// directory.
+    pub fn set_checkpoint_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.checkpoint_dir = Some(dir.into());
+    }
+
+    /// The configured checkpoint directory, if any.
+    pub fn checkpoint_dir(&self) -> Option<&Path> {
+        self.checkpoint_dir.as_deref()
+    }
+
+    /// The rendered error of the most recent failed best-effort automatic
+    /// checkpoint, if any. Automatic checkpoints never abort ingestion;
+    /// they count `recovery.checkpoint_errors` and park the message here.
+    pub fn last_checkpoint_error(&self) -> Option<&str> {
+        self.last_checkpoint_error.as_deref()
+    }
+
+    /// Test support: make the particle filter of `object` panic on its
+    /// first `attempts` attempts of every evaluation pass, exercising the
+    /// supervised retry/quarantine path through the full facade.
+    #[doc(hidden)]
+    pub fn inject_preprocess_fault(&mut self, object: ObjectId, attempts: usize) {
+        self.injected_fault = Some((object, attempts));
+    }
+
+    /// Writes a durable snapshot of the recoverable system state —
+    /// collector, particle cache, master RNG stream, cumulative metrics
+    /// and the ingest watermark — to `<dir>/system.ckpt`, atomically
+    /// (sibling temp file, fsync, rename). Requires a checkpoint
+    /// directory; creates it if missing.
+    pub fn checkpoint_now(&mut self) -> Result<(), RipqError> {
+        let Some(dir) = self.checkpoint_dir.clone() else {
+            return Err(RipqError::Io(
+                "no checkpoint directory configured".to_string(),
+            ));
+        };
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| RipqError::Io(format!("{}: {e}", dir.display())))?;
+        let mut w = ByteWriter::new();
+        self.encode_snapshot_payload(&mut w);
+        let framed = seal_snapshot(&w.into_bytes());
+        write_atomic(&checkpoint::snapshot_path(&dir), &framed)
+            .map_err(|e| checkpoint::persist_io(&e))?;
+        self.recorder.add("recovery.checkpoints_written", 1);
+        Ok(())
+    }
+
+    /// Attempts to restore the system from `<dir>/system.ckpt` and makes
+    /// `dir` the checkpoint directory for this run.
+    ///
+    /// * A missing snapshot is a clean [`RecoveryOutcome::ColdStart`].
+    /// * A valid snapshot restores collector, cache, RNG and metrics
+    ///   exactly; the caller then replays its reading store from
+    ///   [`RecoveryOutcome::Resumed::replay_from`]. Under
+    ///   [`TimingMode::Logical`] the replayed run is bit-identical to an
+    ///   uninterrupted one.
+    /// * A damaged snapshot (torn write, bit rot, stale format version)
+    ///   is moved aside to `system.ckpt.corrupt` and reported as
+    ///   [`RecoveryOutcome::Quarantined`]; the system state is left
+    ///   untouched for a cold rebuild.
+    ///
+    /// Registered queries are deliberately *not* part of the snapshot:
+    /// re-register them (in the same order) before or after recovering,
+    /// exactly as on a cold start.
+    pub fn recover(&mut self, dir: impl Into<PathBuf>) -> Result<RecoveryOutcome, RipqError> {
+        let dir = dir.into();
+        let path = checkpoint::snapshot_path(&dir);
+        self.checkpoint_dir = Some(dir);
+        let payload = match load_snapshot(&path) {
+            Ok(p) => p,
+            Err(PersistError::Missing) => {
+                self.recorder.add("recovery.cold_start", 1);
+                return Ok(RecoveryOutcome::ColdStart);
+            }
+            Err(PersistError::Io(msg)) => return Err(RipqError::Io(msg)),
+            Err(_damaged) => return self.quarantine_snapshot(&path),
+        };
+        let mut r = ByteReader::new(&payload);
+        match self.restore_snapshot_payload(&mut r) {
+            Ok(replay_from) => {
+                self.recorder.add("recovery.resumed", 1);
+                Ok(RecoveryOutcome::Resumed { replay_from })
+            }
+            Err(_damaged) => self.quarantine_snapshot(&path),
+        }
+    }
+
+    /// Moves a damaged snapshot aside and reports the quarantine.
+    fn quarantine_snapshot(&mut self, path: &Path) -> Result<RecoveryOutcome, RipqError> {
+        let moved = quarantine(path).map_err(|e| checkpoint::persist_io(&e))?;
+        self.recorder.add("recovery.quarantined", 1);
+        Ok(RecoveryOutcome::Quarantined { path: moved })
+    }
+
+    /// Serializes the recoverable state in the canonical snapshot layout:
+    /// watermark, cadence base, collector, cache, RNG words, metrics.
+    fn encode_snapshot_payload(&self, w: &mut ByteWriter) {
+        w.put_opt_u64(self.last_ingest_second);
+        w.put_opt_u64(self.last_checkpoint_second);
+        self.collector.encode_state(w);
+        self.cache.shared().encode_state(w);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        checkpoint::encode_metrics(w, &self.recorder.snapshot());
+    }
+
+    /// Decodes and commits a snapshot payload. Everything is decoded into
+    /// temporaries before any field is touched, so a torn payload leaves
+    /// the system exactly as it was. Returns the replay start second.
+    fn restore_snapshot_payload(&mut self, r: &mut ByteReader<'_>) -> Result<u64, PersistError> {
+        let last_ingest = r.get_opt_u64()?;
+        let last_checkpoint = r.get_opt_u64()?;
+        let mut collector = DataCollector::decode_state(r)?;
+        let cache = SharedParticleCache::decode_state(r)?;
+        let rng_state = [r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?];
+        let metrics = checkpoint::decode_metrics(r)?;
+        if r.remaining() != 0 {
+            return Err(PersistError::Torn);
+        }
+        collector.set_recorder(&self.recorder);
+        self.collector = collector;
+        self.cache = ParticleCache::from_shared(cache);
+        self.rng = StdRng::from_state(rng_state);
+        self.recorder.restore(&metrics);
+        self.last_ingest_second = last_ingest;
+        self.last_checkpoint_second = last_checkpoint;
+        Ok(last_ingest.map_or(0, |s| s + 1))
+    }
+
+    /// Advances the ingest watermark.
+    fn note_ingest(&mut self, second: u64) {
+        self.last_ingest_second = Some(self.last_ingest_second.map_or(second, |l| l.max(second)));
+    }
+
+    /// Best-effort automatic checkpoint, called at the start of every
+    /// ingest entry point: fires when the cadence is due for `second`,
+    /// *before* that second's readings apply, so the snapshot covers
+    /// exactly the seconds preceding it and replay resumes at
+    /// `last_ingest_second + 1`. Failures never abort ingestion — they
+    /// count `recovery.checkpoint_errors` and are surfaced via
+    /// [`IndoorQuerySystem::last_checkpoint_error`].
+    fn maybe_checkpoint(&mut self, second: u64) {
+        if self.config.checkpoint_every == 0 || self.checkpoint_dir.is_none() || second == 0 {
+            return;
+        }
+        // Only the first ingest call of a new second can be due.
+        if self.last_ingest_second.is_some_and(|l| second <= l) {
+            return;
+        }
+        let base = self.last_checkpoint_second.unwrap_or(0);
+        if second.saturating_sub(base) < self.config.checkpoint_every {
+            return;
+        }
+        self.last_checkpoint_second = Some(second);
+        if let Err(e) = self.checkpoint_now() {
+            self.recorder.add("recovery.checkpoint_errors", 1);
+            self.last_checkpoint_error = Some(e.to_string());
+        }
     }
 }
 
@@ -800,6 +1055,250 @@ mod tests {
         off.ingest_detections(0, &[(o(0), near.id())]);
         assert!(!off.recorder().is_enabled());
         assert!(off.evaluate(0).metrics.is_none());
+    }
+
+    /// Deterministic per-second detections: objects hop readers on fixed
+    /// schedules, one object blinks in and out.
+    fn detections(ids: &[ReaderId], s: u64) -> Vec<(ObjectId, ReaderId)> {
+        let n = ids.len() as u64;
+        let mut v = vec![
+            (o(0), ids[((s / 3) % n) as usize]),
+            (o(1), ids[((s / 4 + 5) % n) as usize]),
+        ];
+        if s.is_multiple_of(2) {
+            v.push((o(2), ids[((s / 5 + 9) % n) as usize]));
+        }
+        v
+    }
+
+    fn register_recovery_queries(sys: &mut IndoorQuerySystem) {
+        sys.register_range(Rect::centered(sys.readers()[2].position(), 10.0, 8.0))
+            .unwrap();
+        sys.register_knn(sys.readers()[0].position(), 2).unwrap();
+        sys.register_ptknn(sys.readers()[4].position(), 1, 0.3)
+            .unwrap();
+    }
+
+    /// Ingests seconds `from..=to`, evaluating at the fixed schedule;
+    /// returns the last report.
+    fn drive(sys: &mut IndoorQuerySystem, from: u64, to: u64) -> Option<EvaluationReport> {
+        let ids: Vec<ReaderId> = sys.readers().iter().map(|r| r.id()).collect();
+        let mut last = None;
+        for s in from..=to {
+            let d = detections(&ids, s);
+            sys.ingest_detections(s, &d);
+            if [5, 9, 12].contains(&s) {
+                last = Some(sys.evaluate(s));
+            }
+        }
+        last
+    }
+
+    /// Canonical rendering of a report for byte-compare: result
+    /// probabilities as exact f64 bits plus the metrics snapshot with the
+    /// run-shape-dependent `recovery.*` counters stripped.
+    fn render(report: &EvaluationReport) -> String {
+        let mut out = String::new();
+        for (id, rs) in report
+            .range_results
+            .iter()
+            .chain(&report.knn_results)
+            .chain(&report.ptknn_results)
+        {
+            out.push_str(&format!("q{}:", id.raw()));
+            for (obj, p) in rs.iter() {
+                out.push_str(&format!(" {}={:016x}", obj.raw(), p.to_bits()));
+            }
+            out.push('\n');
+        }
+        let mut snap = report.metrics.clone().expect("observability on");
+        snap.counters.retain(|k, _| !k.starts_with("recovery."));
+        out + &snap.to_json()
+    }
+
+    fn ckpt_cfg() -> SystemConfig {
+        SystemConfig {
+            timing: TimingMode::Logical,
+            observability: true,
+            checkpoint_every: 4,
+            ..Default::default()
+        }
+    }
+
+    fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ripq_core_ckpt_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn recover_reproduces_an_uninterrupted_run_bit_for_bit() {
+        let dir = temp_ckpt_dir("resume");
+        // Baseline: same config, no checkpoint IO, run straight through.
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut base = IndoorQuerySystem::new(plan, ckpt_cfg(), 7);
+        register_recovery_queries(&mut base);
+        let golden = render(&drive(&mut base, 0, 12).unwrap());
+
+        // Life 1: checkpoint at the start of second 4 (covers 0..=3),
+        // then die after ingesting second 6.
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut life1 = IndoorQuerySystem::new(plan, ckpt_cfg(), 7);
+        life1.set_checkpoint_dir(&dir);
+        register_recovery_queries(&mut life1);
+        drive(&mut life1, 0, 6);
+        assert!(life1.last_checkpoint_error().is_none());
+        drop(life1);
+
+        // Life 2: recover and replay the reading-store suffix.
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut life2 = IndoorQuerySystem::new(plan, ckpt_cfg(), 7);
+        let outcome = life2.recover(&dir).unwrap();
+        assert_eq!(outcome, RecoveryOutcome::Resumed { replay_from: 4 });
+        register_recovery_queries(&mut life2);
+        let recovered = render(&drive(&mut life2, 4, 12).unwrap());
+
+        assert_eq!(golden, recovered, "recovered run must be bit-identical");
+        let resumed = life2.recorder().snapshot().counters["recovery.resumed"];
+        assert_eq!(resumed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_checkpoint_is_quarantined_and_rebuilt_cold() {
+        let dir = temp_ckpt_dir("corrupt");
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut base = IndoorQuerySystem::new(plan, ckpt_cfg(), 7);
+        register_recovery_queries(&mut base);
+        let golden = render(&drive(&mut base, 0, 12).unwrap());
+
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut life1 = IndoorQuerySystem::new(plan, ckpt_cfg(), 7);
+        life1.set_checkpoint_dir(&dir);
+        register_recovery_queries(&mut life1);
+        drive(&mut life1, 0, 6);
+        drop(life1);
+
+        // Flip one payload bit in the snapshot.
+        let path = checkpoint::snapshot_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut life2 = IndoorQuerySystem::new(plan, ckpt_cfg(), 7);
+        match life2.recover(&dir).unwrap() {
+            RecoveryOutcome::Quarantined { path: moved } => {
+                assert!(moved.to_string_lossy().ends_with(".corrupt"));
+                assert!(moved.exists());
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(!path.exists(), "damaged file moved aside");
+        assert_eq!(
+            life2.recorder().snapshot().counters["recovery.quarantined"],
+            1
+        );
+        // Cold rebuild: replay the full reading store and match the
+        // uninterrupted run exactly.
+        register_recovery_queries(&mut life2);
+        let rebuilt = render(&drive(&mut life2, 0, 12).unwrap());
+        assert_eq!(golden, rebuilt, "cold rebuild must still be exact");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_with_no_snapshot_is_a_cold_start() {
+        let dir = temp_ckpt_dir("cold");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut sys = system();
+        assert_eq!(sys.recover(&dir).unwrap(), RecoveryOutcome::ColdStart);
+        assert_eq!(sys.checkpoint_dir(), Some(dir.as_path()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_now_without_dir_is_a_clean_error() {
+        let mut sys = system();
+        match sys.checkpoint_now() {
+            Err(RipqError::Io(msg)) => assert!(msg.contains("no checkpoint directory")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_budget_degrades_answers_and_tags_queries() {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let cfg = SystemConfig {
+            timing: TimingMode::Logical,
+            prune_candidates: false,
+            query_budget: Some(150),
+            ..Default::default()
+        };
+        let mut sys = IndoorQuerySystem::new(plan, cfg, 7);
+        let ids: Vec<ReaderId> = sys.readers().iter().map(|r| r.id()).collect();
+        for s in 0..=5u64 {
+            let d = detections(&ids, s);
+            sys.ingest_detections(s, &d);
+        }
+        // A window covering the whole floor: every object answers, so
+        // every degradation level is visible through the query tag.
+        let qid = sys
+            .register_range(Rect::new(-100.0, -100.0, 400.0, 400.0))
+            .unwrap();
+        let report = sys.evaluate(8);
+        assert!(
+            report
+                .object_degradation
+                .values()
+                .any(|l| *l > DegradationLevel::Full),
+            "budget 150 must degrade at least one object: {:?}",
+            report.object_degradation
+        );
+        assert_eq!(
+            report.degradation[&qid],
+            report.object_degradation.values().copied().max().unwrap(),
+            "query tag is the worst level among answering objects"
+        );
+        // Degraded answers are still proper distributions.
+        for obj in report.object_degradation.keys() {
+            let total = report.index.total_probability(obj);
+            assert!((total - 1.0).abs() < 1e-9, "object {obj:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn injected_pf_fault_is_quarantined_through_the_facade() {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let cfg = SystemConfig {
+            timing: TimingMode::Logical,
+            prune_candidates: false,
+            observability: true,
+            ..Default::default()
+        };
+        let mut sys = IndoorQuerySystem::new(plan, cfg, 7);
+        let ids: Vec<ReaderId> = sys.readers().iter().map(|r| r.id()).collect();
+        for s in 0..=4u64 {
+            let d = detections(&ids, s);
+            sys.ingest_detections(s, &d);
+        }
+        let qid = sys
+            .register_range(Rect::new(-100.0, -100.0, 400.0, 400.0))
+            .unwrap();
+        sys.inject_preprocess_fault(o(0), usize::MAX);
+        let report = sys.evaluate(6);
+        assert_eq!(
+            report.object_degradation[&o(0)],
+            DegradationLevel::Quarantined
+        );
+        assert_eq!(report.degradation[&qid], DegradationLevel::Quarantined);
+        // The quarantined object still gets a (fallback) answer.
+        let total = report.index.total_probability(&o(0));
+        assert!((total - 1.0).abs() < 1e-9, "fallback distribution: {total}");
+        let snap = report.metrics.unwrap();
+        assert!(snap.counters["degrade.quarantined"] >= 1);
+        assert!(snap.counters["degrade.pf_panics"] >= 1);
     }
 
     #[test]

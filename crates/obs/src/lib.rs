@@ -333,6 +333,62 @@ impl Recorder {
             spans,
         }
     }
+
+    /// Restores every metric in `snapshot` into this recorder's registry,
+    /// registering names as needed and overwriting current values —
+    /// the inverse of [`Recorder::snapshot`], used when resuming from a
+    /// checkpoint. Existing handles stay valid: values are stored into
+    /// the already-registered cells rather than replacing them. A no-op
+    /// when disabled.
+    pub fn restore(&self, snapshot: &MetricsSnapshot) {
+        let Some(reg) = &self.inner else {
+            return;
+        };
+        for (name, value) in &snapshot.counters {
+            lock(&reg.counters)
+                .entry(name.clone())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .store(*value, Ordering::Relaxed);
+        }
+        for (name, value) in &snapshot.gauges {
+            lock(&reg.gauges)
+                .entry(name.clone())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .store(*value, Ordering::Relaxed);
+        }
+        for (name, h) in &snapshot.histograms {
+            let core = Arc::clone(
+                lock(&reg.histograms)
+                    .entry(name.clone())
+                    .or_insert_with(|| Arc::new(HistogramCore::new())),
+            );
+            core.count.store(h.count, Ordering::Relaxed);
+            core.sum.store(h.sum, Ordering::Relaxed);
+            // Snapshots render the min of an empty histogram as 0; the
+            // live sentinel is u64::MAX so the first observation wins.
+            core.min.store(
+                if h.count == 0 { u64::MAX } else { h.min },
+                Ordering::Relaxed,
+            );
+            core.max.store(h.max, Ordering::Relaxed);
+            for bucket in &core.buckets {
+                bucket.store(0, Ordering::Relaxed);
+            }
+            for &(bound, hits) in &h.buckets {
+                // Invert `bucket_lower_bound`: 0 → bucket 0, 2^(i-1) → i.
+                let index = if bound == 0 {
+                    0
+                } else {
+                    (bound.trailing_zeros() as usize + 1).min(HISTOGRAM_BUCKETS - 1)
+                };
+                core.buckets[index].store(hits, Ordering::Relaxed);
+            }
+        }
+        let mut spans = lock(&reg.spans);
+        for (path, stat) in &snapshot.spans {
+            spans.insert(path.clone(), *stat);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -432,6 +488,49 @@ mod tests {
             (snap.histograms["h"].min, snap.histograms["h"].max),
             (0, 99)
         );
+    }
+
+    #[test]
+    fn restore_inverts_snapshot_exactly() {
+        let rec = Recorder::enabled();
+        rec.add("a.count", 7);
+        rec.set_gauge("a.gauge", 12);
+        let hist = rec.histogram("a.hist");
+        hist.observe(0);
+        hist.observe(5);
+        hist.observe(1_000_000);
+        let _ = rec.histogram("a.empty"); // registered, never observed
+        rec.record_span("run/pf", Duration::from_micros(250));
+        let snap = rec.snapshot();
+
+        let restored = Recorder::enabled();
+        restored.restore(&snap);
+        assert_eq!(restored.snapshot(), snap, "restore(snapshot) != identity");
+
+        // The empty histogram's min sentinel survived the round trip:
+        // its first post-restore observation still sets the min.
+        restored.histogram("a.empty").observe(42);
+        assert_eq!(restored.snapshot().histograms["a.empty"].min, 42);
+
+        // Restoring into a registry with pre-resolved handles keeps them
+        // live and overwrites their values.
+        let busy = Recorder::enabled();
+        let pre = busy.counter("a.count");
+        pre.add(999);
+        busy.restore(&snap);
+        assert_eq!(busy.snapshot().counters["a.count"], 7);
+        pre.inc();
+        assert_eq!(busy.snapshot().counters["a.count"], 8);
+    }
+
+    #[test]
+    fn restore_on_disabled_recorder_is_a_noop() {
+        let rec = Recorder::enabled();
+        rec.add("x", 1);
+        let snap = rec.snapshot();
+        let off = Recorder::disabled();
+        off.restore(&snap);
+        assert_eq!(off.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

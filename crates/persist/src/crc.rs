@@ -1,0 +1,64 @@
+//! Table-based CRC32 (IEEE 802.3 polynomial, reflected form
+//! `0xEDB88320`) — the checksum of the snapshot frame.
+
+/// The 256-entry lookup table, built once at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    })
+}
+
+/// CRC32 of `bytes` (IEEE polynomial, init `0xFFFFFFFF`, final XOR) —
+/// the same function `cksum`-family tools call `crc32`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_every_bit() {
+        let base = crc32(b"abcdef");
+        for i in 0..6 {
+            let mut m = *b"abcdef";
+            m[i] ^= 1;
+            assert_ne!(crc32(&m), base, "bit flip at byte {i} not detected");
+        }
+    }
+}

@@ -22,8 +22,10 @@
 //! * [`ParticleCache`] — the original single-threaded `&mut self` API,
 //!   now a thin veneer over a [`SharedParticleCache`].
 
-use crate::IndoorState;
+use crate::{Heading, IndoorState};
 use parking_lot::Mutex;
+use ripq_graph::{EdgeId, GraphPos};
+use ripq_persist::{ByteReader, ByteWriter, PersistError};
 use ripq_rfid::{ObjectId, ReaderId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -194,6 +196,72 @@ impl SharedParticleCache {
             s.lock().clear();
         }
     }
+
+    /// Appends the cache's full state — every entry plus the hit/miss
+    /// counters — to `w` in the canonical checkpoint encoding (entries
+    /// sorted by object id, so equal state always encodes identically
+    /// regardless of shard hash order).
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        let mut entries: Vec<(ObjectId, CacheEntry)> = Vec::new();
+        for shard in &self.shards {
+            for (&o, e) in shard.lock().iter() {
+                entries.push((o, e.clone()));
+            }
+        }
+        entries.sort_by_key(|(o, _)| *o);
+        w.put_seq_len(entries.len());
+        for (o, e) in entries {
+            w.put_u32(o.raw());
+            w.put_u64(e.timestamp);
+            w.put_u32(e.episode.0.raw());
+            w.put_u64(e.episode.1);
+            w.put_seq_len(e.particles.len());
+            for p in &e.particles {
+                w.put_u32(p.pos.edge.raw());
+                w.put_f64(p.pos.offset);
+                w.put_bool(matches!(p.heading, Heading::TowardB));
+                w.put_f64(p.speed);
+            }
+        }
+        w.put_u64(self.hits.load(Ordering::Relaxed));
+        w.put_u64(self.misses.load(Ordering::Relaxed));
+        w.put_u64(self.invalidations.load(Ordering::Relaxed));
+    }
+
+    /// Rebuilds a cache from bytes written by
+    /// [`SharedParticleCache::encode_state`]. Any truncation or invalid
+    /// tag is [`PersistError::Torn`].
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<SharedParticleCache, PersistError> {
+        let cache = SharedParticleCache::new();
+        let n_entries = r.get_seq_len(28)?;
+        for _ in 0..n_entries {
+            let object = ObjectId::new(r.get_u32()?);
+            let timestamp = r.get_u64()?;
+            let episode = (ReaderId::new(r.get_u32()?), r.get_u64()?);
+            let n_particles = r.get_seq_len(21)?;
+            let mut particles = Vec::with_capacity(n_particles);
+            for _ in 0..n_particles {
+                let edge = EdgeId::new(r.get_u32()?);
+                let offset = r.get_f64()?;
+                let heading = if r.get_bool()? {
+                    Heading::TowardB
+                } else {
+                    Heading::TowardA
+                };
+                let speed = r.get_f64()?;
+                particles.push(IndoorState {
+                    pos: GraphPos::new(edge, offset),
+                    heading,
+                    speed,
+                });
+            }
+            cache.store(object, particles, timestamp, episode);
+        }
+        cache.hits.store(r.get_u64()?, Ordering::Relaxed);
+        cache.misses.store(r.get_u64()?, Ordering::Relaxed);
+        cache.invalidations.store(r.get_u64()?, Ordering::Relaxed);
+        Ok(cache)
+    }
 }
 
 /// Particle-state cache, one entry per object — the single-owner API.
@@ -206,6 +274,13 @@ impl ParticleCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wraps an already-populated shared cache — e.g. one decoded from a
+    /// checkpoint via [`SharedParticleCache::decode_state`] — in the
+    /// single-owner API.
+    pub fn from_shared(inner: SharedParticleCache) -> Self {
+        ParticleCache { inner }
     }
 
     /// The internally synchronized cache backing this one, for handing to
@@ -375,6 +450,70 @@ mod tests {
         assert_eq!(s.invalidations, 200);
         assert!(c.is_empty());
         assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn state_codec_round_trips_and_is_canonical() {
+        let build = || {
+            let c = SharedParticleCache::new();
+            // Objects across different shards, some traffic for counters.
+            for i in [0u32, 3, 16, 17, 40] {
+                let o = ObjectId::new(i);
+                c.store(
+                    o,
+                    vec![particle(f64::from(i)), particle(0.5)],
+                    100 + u64::from(i),
+                    EP1,
+                );
+            }
+            let _ = c.lookup(ObjectId::new(0), EP1); // hit
+            let _ = c.lookup(ObjectId::new(3), EP2); // invalidating miss
+            let _ = c.lookup(ObjectId::new(99), EP1); // plain miss
+            c
+        };
+        let c = build();
+        let mut w = ByteWriter::new();
+        c.encode_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut w2 = ByteWriter::new();
+        build().encode_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "encoding is not canonical");
+
+        let mut r = ByteReader::new(&bytes);
+        let d = SharedParticleCache::decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(d.stats(), c.stats());
+        assert_eq!(d.len(), c.len());
+        assert_eq!(
+            d.lookup(ObjectId::new(0), EP1),
+            c.lookup(ObjectId::new(0), EP1)
+        );
+        let mut w3 = ByteWriter::new();
+        d.encode_state(&mut w3);
+        // Both sides did one more identical hit above, so re-encode after
+        // mirroring traffic must still agree.
+        let mut w4 = ByteWriter::new();
+        c.encode_state(&mut w4);
+        assert_eq!(w3.into_bytes(), w4.into_bytes());
+    }
+
+    #[test]
+    fn truncated_cache_state_is_torn_not_a_panic() {
+        let c = SharedParticleCache::new();
+        c.store(O, vec![particle(1.0), particle(2.0)], 9, EP1);
+        let mut w = ByteWriter::new();
+        c.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0, 3, 11, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert_eq!(
+                SharedParticleCache::decode_state(&mut r).unwrap_err(),
+                PersistError::Torn,
+                "cut at {cut} not detected"
+            );
+        }
     }
 
     #[test]

@@ -60,7 +60,8 @@ pub use cache::{CacheStats, EpisodeKey, ParticleCache, SharedParticleCache};
 pub use measurement::MeasurementModel;
 pub use motion::MotionModel;
 pub use preprocess::{
-    derive_stream_seed, ParticlePreprocessor, PreprocessOutcome, PreprocessorConfig,
+    derive_stream_seed, DegradationLevel, ParticlePreprocessor, PreprocessOutcome,
+    PreprocessorConfig, SupervisedOutput, SupervisionOptions,
 };
 pub use seed::{seed_intervals, seed_particles};
 pub use sir::{resample_indices, resample_indices_n, ParticleFilter};

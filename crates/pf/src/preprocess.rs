@@ -24,12 +24,16 @@ use crate::{
     seed_particles, IndoorState, KldConfig, MeasurementModel, MotionModel, ParticleCache,
     ParticleFilter, SharedParticleCache,
 };
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ripq_graph::{AnchorId, AnchorObjectIndex, AnchorSet, WalkingGraph};
 use ripq_obs::{Counter, Histogram, Recorder};
 use ripq_rfid::{ObjectId, Reader, ReaderId, ReadingStore};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Derives the seed of one object's private RNG stream for one
@@ -119,6 +123,78 @@ pub struct PreprocessOutcome {
     pub seconds_simulated: u64,
 }
 
+/// How much of the full particle-filter pipeline produced an object's
+/// answer distribution, ordered from best to worst. A query's overall
+/// level is the maximum over the objects it touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DegradationLevel {
+    /// Full Algorithm 2 run at the configured particle count.
+    Full,
+    /// The per-query budget forced a reduced particle count (the
+    /// KLD-sampling floor), trading sharpness for latency.
+    ReducedParticles,
+    /// The budget was exhausted: the answer is a uniform distribution
+    /// over the anchors inside the object's pruning circle (§4.3) — the
+    /// weakest statement the readings still support.
+    UniformFallback,
+    /// The object's filter panicked past the retry limit; the answer is
+    /// the same uniform pruning-circle distribution, and the object is
+    /// flagged so operators know inference is persistently failing.
+    Quarantined,
+}
+
+impl fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradationLevel::Full => "full",
+            DegradationLevel::ReducedParticles => "reduced-particles",
+            DegradationLevel::UniformFallback => "uniform-fallback",
+            DegradationLevel::Quarantined => "quarantined",
+        })
+    }
+}
+
+/// Knobs of [`ParticlePreprocessor::process_supervised`]: worker
+/// isolation, bounded retry and the per-pass evaluation budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionOptions {
+    /// Panicking filter runs are retried (from a fresh reseed, cache
+    /// disabled) at most this many times before quarantining the object.
+    pub retry_limit: usize,
+    /// Evaluation budget for the whole pass in cost units (simulated
+    /// seconds × particle count, a deterministic logical-clock model).
+    /// `None` = unbounded (every object runs the full filter).
+    pub budget: Option<u64>,
+    /// Deterministic fault hook for tests: this object's filter panics on
+    /// its first [`SupervisionOptions::panic_attempts`] attempts.
+    pub panic_object: Option<ObjectId>,
+    /// How many attempts of [`SupervisionOptions::panic_object`] panic.
+    pub panic_attempts: usize,
+}
+
+impl Default for SupervisionOptions {
+    fn default() -> Self {
+        SupervisionOptions {
+            retry_limit: 1,
+            budget: None,
+            panic_object: None,
+            panic_attempts: 1,
+        }
+    }
+}
+
+/// Output of [`ParticlePreprocessor::process_supervised`]: the assembled
+/// `APtoObjHT` index plus the degradation level each candidate's answer
+/// was produced at.
+#[derive(Debug)]
+pub struct SupervisedOutput {
+    /// Anchor→object index over all answered candidates.
+    pub index: AnchorObjectIndex<ObjectId>,
+    /// Per-object degradation level (objects the collector has never
+    /// seen are absent, exactly as they are absent from the index).
+    pub degradation: BTreeMap<ObjectId, DegradationLevel>,
+}
+
 /// Everything [`ParticlePreprocessor::filter_object`] needs that was
 /// decided *before* any random draw: the episode identity, the simulation
 /// window, and the (already consumed) cache-lookup result. Splitting this
@@ -181,6 +257,11 @@ pub struct ParticlePreprocessor<'a> {
     readers: &'a [Reader],
     config: PreprocessorConfig,
     metrics: PfMetrics,
+    /// Kept for lazily registered `degrade.*` counters: unlike the
+    /// pre-resolved [`PfMetrics`] handles (which register their names at
+    /// zero the moment a recorder is attached), degradation counters only
+    /// appear in snapshots once degradation actually happens.
+    recorder: Recorder,
 }
 
 impl<'a> ParticlePreprocessor<'a> {
@@ -199,6 +280,7 @@ impl<'a> ParticlePreprocessor<'a> {
             readers,
             config,
             metrics: PfMetrics::default(),
+            recorder: Recorder::default(),
         }
     }
 
@@ -220,6 +302,7 @@ impl<'a> ParticlePreprocessor<'a> {
             final_particles: recorder.histogram("pf.final_particles"),
             outage_resets: recorder.counter("pf.outage_resets"),
         };
+        self.recorder = recorder.clone();
         self
     }
 
@@ -286,6 +369,10 @@ impl<'a> ParticlePreprocessor<'a> {
     /// aggregated readings up to `tmin`, store back into the cache, snap
     /// to anchors. All random draws of the pass happen here, in a fixed
     /// order independent of other objects.
+    ///
+    /// Returns `None` only if the object vanished from the collector
+    /// between planning and filtering (impossible for the sequential
+    /// callers, unobservable but handled for the supervised fan-out).
     fn filter_object<R: Rng, S: ReadingStore + ?Sized>(
         &self,
         rng: &mut R,
@@ -293,11 +380,29 @@ impl<'a> ParticlePreprocessor<'a> {
         object: ObjectId,
         plan: ObjectPlan,
         cache: Option<&SharedParticleCache>,
-    ) -> PreprocessOutcome {
-        let agg = collector
-            .aggregated(object)
-            // ripq-lint: allow(no-panic-paths) -- plan_object (the only caller path) already verified the object is known to the collector
-            .expect("plan_object verified the object is known");
+    ) -> Option<PreprocessOutcome> {
+        self.filter_object_sized(rng, collector, object, plan, cache, None)
+    }
+
+    /// [`ParticlePreprocessor::filter_object`] with an optional particle
+    /// count override — the degraded-evaluation path runs the same filter
+    /// with fewer particles instead of a different algorithm.
+    fn filter_object_sized<R: Rng, S: ReadingStore + ?Sized>(
+        &self,
+        rng: &mut R,
+        collector: &S,
+        object: ObjectId,
+        mut plan: ObjectPlan,
+        cache: Option<&SharedParticleCache>,
+        particles_override: Option<usize>,
+    ) -> Option<PreprocessOutcome> {
+        let agg = collector.aggregated(object)?;
+        let num_particles = particles_override.unwrap_or(self.config.num_particles);
+        if let (Some(n), Some((states, _))) = (particles_override, plan.cached.as_mut()) {
+            // A reduced-budget resume keeps (a deterministic prefix of)
+            // the cached cloud rather than discarding the prior entirely.
+            states.truncate(n);
+        }
 
         if plan.cached.is_some() {
             self.metrics.cache_resumes.inc();
@@ -312,7 +417,7 @@ impl<'a> ParticlePreprocessor<'a> {
             Some((states, t)) => {
                 // Cached states are already at/after tmin: reuse directly.
                 let filter = ParticleFilter::from_states(states);
-                return self.finish(filter, t, true, 0);
+                return Some(self.finish(filter, t, true, 0));
             }
             None => {
                 // Fresh start: seed within the second-most-recent device's
@@ -322,7 +427,7 @@ impl<'a> ParticlePreprocessor<'a> {
                     self.graph,
                     self.reader(plan.seed_device),
                     &self.config.motion,
-                    self.config.num_particles,
+                    num_particles,
                 );
                 (
                     ParticleFilter::from_states(seeds),
@@ -405,7 +510,7 @@ impl<'a> ParticlePreprocessor<'a> {
                 plan.episode_key,
             );
         }
-        self.finish(filter, timestamp, resumed, simulated)
+        Some(self.finish(filter, timestamp, resumed, simulated))
     }
 
     /// Runs Algorithm 2 for one object. Returns `None` when the collector
@@ -433,7 +538,7 @@ impl<'a> ParticlePreprocessor<'a> {
         cache: Option<&SharedParticleCache>,
     ) -> Option<PreprocessOutcome> {
         let plan = self.plan_object(collector, object, now, cache)?;
-        Some(self.filter_object(rng, collector, object, plan, cache))
+        self.filter_object(rng, collector, object, plan, cache)
     }
 
     /// Runs Algorithm 2 for one object on its own deterministic RNG
@@ -451,7 +556,7 @@ impl<'a> ParticlePreprocessor<'a> {
         let plan = self.plan_object(collector, object, now, cache)?;
         let mut rng =
             StdRng::seed_from_u64(derive_stream_seed(pass_seed, object, plan.resume_timestamp));
-        Some(self.filter_object(&mut rng, collector, object, plan, cache))
+        self.filter_object(&mut rng, collector, object, plan, cache)
     }
 
     /// Resamples, adapting the output size per KLD-sampling when enabled.
@@ -537,60 +642,275 @@ impl<'a> ParticlePreprocessor<'a> {
         cache: Option<&SharedParticleCache>,
         parallelism: Option<usize>,
     ) -> AnchorObjectIndex<ObjectId> {
-        /// One filtered candidate: its position in the candidate list (the
-        /// merge key), the object, and its snapped distribution.
-        type Filtered = (usize, ObjectId, Vec<(AnchorId, f64)>);
+        self.process_supervised(
+            pass_seed,
+            collector,
+            candidates,
+            now,
+            cache,
+            parallelism,
+            &SupervisionOptions::default(),
+        )
+        .index
+    }
 
-        let workers = parallelism.unwrap_or(1).clamp(1, candidates.len().max(1));
+    /// The weakest answer the readings still support: a uniform
+    /// distribution over the anchors inside the object's pruning circle
+    /// (§4.3), centered at the last detecting reader with radius
+    /// `activation_range + v_max · (now − t_last)`. `None` when the
+    /// collector has never detected the object (or no anchors exist).
+    fn fallback_distribution<S: ReadingStore + ?Sized>(
+        &self,
+        collector: &S,
+        object: ObjectId,
+        now: u64,
+    ) -> Option<Vec<(AnchorId, f64)>> {
+        let (reader, t_last) = collector.last_detection(object)?;
+        let r = self.reader(reader);
+        let center = r.position();
+        // The motion model draws speeds from N(μ, σ²); μ + 3σ bounds the
+        // population for the same purpose SystemConfig::max_speed serves
+        // in query pruning.
+        let v_max = self.config.motion.speed_mean + 3.0 * self.config.motion.speed_std;
+        let radius = r.activation_range() + v_max * now.saturating_sub(t_last) as f64;
+        let inside: Vec<AnchorId> = self
+            .anchors
+            .anchors()
+            .iter()
+            .filter(|a| a.point.distance(center) <= radius)
+            .map(|a| a.id)
+            .collect();
+        let ids = if inside.is_empty() {
+            // Degenerate circle (no anchor inside): the nearest anchor to
+            // the reader carries all the mass.
+            vec![self.anchors.nearest(r.graph_pos())]
+        } else {
+            inside
+        };
+        let mass = 1.0 / ids.len() as f64;
+        Some(ids.into_iter().map(|a| (a, mass)).collect())
+    }
 
-        let mut results: Vec<Filtered> = if workers <= 1 {
-            candidates
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &o)| {
-                    self.process_object_streamed(pass_seed, collector, o, now, cache)
-                        .map(|out| (i, o, out.distribution))
+    /// One supervised candidate: run the (possibly budget-reduced) filter
+    /// under panic isolation with bounded retry, degrading to the uniform
+    /// fallback when the filter is persistently poisoned. Returns the
+    /// answered distribution and the level it was produced at.
+    #[allow(clippy::too_many_arguments)]
+    fn run_supervised_object<S: ReadingStore + Sync + ?Sized>(
+        &self,
+        pass_seed: u64,
+        collector: &S,
+        object: ObjectId,
+        mut plan: Option<ObjectPlan>,
+        level: DegradationLevel,
+        now: u64,
+        cache: Option<&SharedParticleCache>,
+        options: &SupervisionOptions,
+    ) -> Option<(Vec<(AnchorId, f64)>, DegradationLevel)> {
+        if matches!(level, DegradationLevel::UniformFallback) {
+            return self
+                .fallback_distribution(collector, object, now)
+                .map(|d| (d, level));
+        }
+        let particles_override = match level {
+            DegradationLevel::ReducedParticles => Some(
+                self.config
+                    .adaptive
+                    .unwrap_or_default()
+                    .min_particles
+                    .min(self.config.num_particles),
+            ),
+            _ => None,
+        };
+        let mut attempt = 0usize;
+        loop {
+            let p = match plan.take() {
+                Some(p) => p,
+                // Retry path: replan with the cache disabled, so the
+                // filter reseeds from the last readings instead of
+                // resuming whatever states the panicking run left behind.
+                None => match self.plan_object(collector, object, now, None) {
+                    Some(p) => p,
+                    None => {
+                        return self
+                            .fallback_distribution(collector, object, now)
+                            .map(|d| (d, DegradationLevel::Quarantined))
+                    }
+                },
+            };
+            let resume = p.resume_timestamp;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if options.panic_object == Some(object) && attempt < options.panic_attempts {
+                    // ripq-lint: allow(no-panic-paths) -- deliberate fault injection: the panic is the supervision test fixture, caught by this catch_unwind
+                    panic!("injected particle-filter fault (attempt {attempt})");
+                }
+                let mut rng = StdRng::seed_from_u64(derive_stream_seed(pass_seed, object, resume));
+                self.filter_object_sized(&mut rng, collector, object, p, cache, particles_override)
+            }));
+            match result {
+                Ok(out) => return out.map(|o| (o.distribution, level)),
+                Err(_) => {
+                    self.recorder.add("degrade.pf_panics", 1);
+                    // Whatever half-updated states the panicking attempt
+                    // stored must not poison later passes.
+                    if let Some(c) = cache {
+                        c.invalidate(object);
+                    }
+                    if attempt >= options.retry_limit {
+                        self.recorder.add("degrade.quarantined", 1);
+                        return self
+                            .fallback_distribution(collector, object, now)
+                            .map(|d| (d, DegradationLevel::Quarantined));
+                    }
+                    self.recorder.add("degrade.retries", 1);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// [`ParticlePreprocessor::process_streamed`] with worker supervision
+    /// and deadline budgeting — the crash-safe evaluation path.
+    ///
+    /// Three deterministic phases:
+    ///
+    /// 1. **Plan** (sequential, candidate order): lines 1–6 of Algorithm 2
+    ///    plus the cache lookup for every candidate. All metric updates
+    ///    commute, so planning everything up front is bit-identical to the
+    ///    previous plan/filter interleaving.
+    /// 2. **Budget** (sequential, candidate order): each object's filter
+    ///    cost is `simulated seconds × particle count` — a logical-clock
+    ///    model, so the ladder decisions are reproducible. Objects run
+    ///    full-size while the budget lasts, then at the KLD floor, then
+    ///    degrade to the uniform pruning-circle fallback.
+    /// 3. **Filter** (fan-out over `parallelism` workers): each object
+    ///    runs under `catch_unwind` isolation with bounded retry; a
+    ///    persistently panicking object is quarantined with a fallback
+    ///    answer instead of aborting the pass. Results merge in candidate
+    ///    order, so any worker count stays bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn process_supervised<S: ReadingStore + Sync + ?Sized>(
+        &self,
+        pass_seed: u64,
+        collector: &S,
+        candidates: &[ObjectId],
+        now: u64,
+        cache: Option<&SharedParticleCache>,
+        parallelism: Option<usize>,
+        options: &SupervisionOptions,
+    ) -> SupervisedOutput {
+        /// One answered candidate: its position in the candidate list (the
+        /// merge key), the object, its distribution, and its level.
+        type Answered = (usize, ObjectId, Vec<(AnchorId, f64)>, DegradationLevel);
+        /// One queued candidate awaiting its supervised filter run.
+        type Queued = (usize, ObjectId, Option<ObjectPlan>, DegradationLevel);
+
+        // Phase 1: plan.
+        let planned: Vec<(usize, ObjectId, ObjectPlan)> = candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &o)| {
+                self.plan_object(collector, o, now, cache)
+                    .map(|p| (i, o, p))
+            })
+            .collect();
+
+        // Phase 2: budget ladder.
+        let mut remaining = options.budget;
+        let reduced_count = self
+            .config
+            .adaptive
+            .unwrap_or_default()
+            .min_particles
+            .min(self.config.num_particles) as u64;
+        let items: Vec<(usize, ObjectId, Option<ObjectPlan>, DegradationLevel)> = planned
+            .into_iter()
+            .map(|(i, o, plan)| {
+                let level = match remaining.as_mut() {
+                    None => DegradationLevel::Full,
+                    Some(rem) => {
+                        let secs = now.saturating_sub(plan.resume_timestamp).max(1);
+                        let cost_full = secs.saturating_mul(self.config.num_particles as u64);
+                        let cost_reduced = secs.saturating_mul(reduced_count);
+                        if *rem >= cost_full {
+                            *rem -= cost_full;
+                            DegradationLevel::Full
+                        } else if *rem >= cost_reduced {
+                            *rem -= cost_reduced;
+                            self.recorder.add("degrade.reduced", 1);
+                            DegradationLevel::ReducedParticles
+                        } else {
+                            *rem = rem.saturating_sub(1);
+                            self.recorder.add("degrade.fallback", 1);
+                            self.recorder.add("degrade.budget_exhausted", 1);
+                            DegradationLevel::UniformFallback
+                        }
+                    }
+                };
+                (i, o, Some(plan), level)
+            })
+            .collect();
+
+        // Phase 3: supervised filtering.
+        let workers = parallelism.unwrap_or(1).clamp(1, items.len().max(1));
+        let mut results: Vec<Answered> = if workers <= 1 {
+            items
+                .into_iter()
+                .filter_map(|(i, o, plan, level)| {
+                    self.run_supervised_object(
+                        pass_seed, collector, o, plan, level, now, cache, options,
+                    )
+                    .map(|(d, lv)| (i, o, d, lv))
                 })
                 .collect()
         } else {
+            let slots: Vec<Mutex<Option<Queued>>> =
+                items.into_iter().map(|it| Mutex::new(Some(it))).collect();
             let next = AtomicUsize::new(0);
-            let locals: Vec<Vec<Filtered>> = std::thread::scope(|scope| {
+            let collected: Mutex<Vec<Answered>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(|| {
-                            let mut local = Vec::new();
+                            let mut local: Vec<Answered> = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= candidates.len() {
+                                if i >= slots.len() {
                                     break;
                                 }
-                                let o = candidates[i];
-                                if let Some(out) = self
-                                    .process_object_streamed(pass_seed, collector, o, now, cache)
-                                {
-                                    local.push((i, o, out.distribution));
+                                let Some((idx, o, plan, level)) = slots[i].lock().take() else {
+                                    continue;
+                                };
+                                if let Some((d, lv)) = self.run_supervised_object(
+                                    pass_seed, collector, o, plan, level, now, cache, options,
+                                ) {
+                                    local.push((idx, o, d, lv));
                                 }
                             }
-                            local
+                            collected.lock().extend(local);
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    // ripq-lint: allow(no-panic-paths) -- a worker panic is a programming error; re-raising it on the coordinating thread preserves abort semantics instead of silently dropping results
-                    .map(|h| h.join().expect("preprocessing worker panicked"))
-                    .collect()
+                for h in handles {
+                    // Per-object panics are already caught inside
+                    // run_supervised_object, so a worker thread dying is
+                    // out of model; its unfinished objects would simply be
+                    // absent from the merged answer set.
+                    let _ = h.join();
+                }
             });
-            let mut merged: Vec<_> = locals.into_iter().flatten().collect();
-            merged.sort_unstable_by_key(|&(i, _, _)| i);
+            let mut merged = collected.into_inner();
+            merged.sort_unstable_by_key(|&(i, _, _, _)| i);
             merged
         };
 
         let mut index = AnchorObjectIndex::new();
-        for (_, o, distribution) in results.drain(..) {
+        let mut degradation = BTreeMap::new();
+        for (_, o, distribution, level) in results.drain(..) {
             index.set_object(o, distribution);
+            degradation.insert(o, level);
         }
-        index
+        SupervisedOutput { index, degradation }
     }
 }
 
@@ -1012,6 +1332,230 @@ mod tests {
         let rev = pre.process_streamed(99, &c, &[o2, O], 6, None, None);
         assert_eq!(fwd.distribution(&O), rev.distribution(&O));
         assert_eq!(fwd.distribution(&o2), rev.distribution(&o2));
+    }
+
+    /// A collector with `n` objects walking past distinct readers.
+    fn populated_collector(w: &World, n: u32) -> DataCollector {
+        let mut c = DataCollector::new();
+        for s in 0..6u64 {
+            let det: Vec<_> = (0..n)
+                .map(|i| {
+                    (
+                        ObjectId::new(i),
+                        w.readers[i as usize % w.readers.len()].id(),
+                    )
+                })
+                .collect();
+            c.ingest_second(s, &det);
+        }
+        c
+    }
+
+    #[test]
+    fn supervised_default_matches_streamed_bit_for_bit() {
+        let w = world();
+        let c = populated_collector(&w, 10);
+        let objects: Vec<ObjectId> = (0..10u32).map(ObjectId::new).collect();
+        let pre = ParticlePreprocessor::new(
+            &w.graph,
+            &w.anchors,
+            &w.readers,
+            PreprocessorConfig::default(),
+        );
+        let a_cache = SharedParticleCache::new();
+        let a = pre.process_streamed(77, &c, &objects, 8, Some(&a_cache), Some(2));
+        let b_cache = SharedParticleCache::new();
+        let b = pre.process_supervised(
+            77,
+            &c,
+            &objects,
+            8,
+            Some(&b_cache),
+            Some(2),
+            &SupervisionOptions::default(),
+        );
+        for o in &objects {
+            assert_eq!(a.distribution(o), b.index.distribution(o));
+            assert_eq!(b.degradation.get(o), Some(&DegradationLevel::Full));
+        }
+        assert_eq!(a_cache.stats(), b_cache.stats());
+    }
+
+    #[test]
+    fn panicking_object_is_retried_then_recovers() {
+        let w = world();
+        let c = populated_collector(&w, 4);
+        let objects: Vec<ObjectId> = (0..4u32).map(ObjectId::new).collect();
+        let recorder = ripq_obs::Recorder::enabled();
+        let pre = ParticlePreprocessor::new(
+            &w.graph,
+            &w.anchors,
+            &w.readers,
+            PreprocessorConfig::default(),
+        )
+        .with_recorder(&recorder);
+        let victim = ObjectId::new(2);
+        let out = pre.process_supervised(
+            5,
+            &c,
+            &objects,
+            8,
+            None,
+            None,
+            &SupervisionOptions {
+                panic_object: Some(victim),
+                panic_attempts: 1,
+                ..Default::default()
+            },
+        );
+        // One panic, one successful retry: the object still gets a full
+        // answer and nobody else is affected.
+        assert_eq!(out.degradation.get(&victim), Some(&DegradationLevel::Full));
+        assert_eq!(out.index.object_count(), 4);
+        let counters = recorder.snapshot().counters;
+        assert_eq!(counters.get("degrade.pf_panics"), Some(&1));
+        assert_eq!(counters.get("degrade.retries"), Some(&1));
+        assert_eq!(counters.get("degrade.quarantined"), None);
+    }
+
+    #[test]
+    fn persistently_panicking_object_is_quarantined_with_fallback() {
+        let w = world();
+        let c = populated_collector(&w, 4);
+        let objects: Vec<ObjectId> = (0..4u32).map(ObjectId::new).collect();
+        let recorder = ripq_obs::Recorder::enabled();
+        let pre = ParticlePreprocessor::new(
+            &w.graph,
+            &w.anchors,
+            &w.readers,
+            PreprocessorConfig::default(),
+        )
+        .with_recorder(&recorder);
+        let victim = ObjectId::new(1);
+        for workers in [1usize, 3] {
+            let out = pre.process_supervised(
+                6,
+                &c,
+                &objects,
+                8,
+                Some(&SharedParticleCache::new()),
+                Some(workers),
+                &SupervisionOptions {
+                    panic_object: Some(victim),
+                    panic_attempts: usize::MAX,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                out.degradation.get(&victim),
+                Some(&DegradationLevel::Quarantined),
+                "at {workers} workers"
+            );
+            // The quarantined answer is still a proper distribution...
+            let total: f64 = out.index.total_probability(&victim);
+            assert!((total - 1.0).abs() < 1e-9, "total {total}");
+            // ...and the healthy objects got full answers.
+            for o in objects.iter().filter(|&&o| o != victim) {
+                assert_eq!(out.degradation.get(o), Some(&DegradationLevel::Full));
+            }
+        }
+        let counters = recorder.snapshot().counters;
+        assert_eq!(counters.get("degrade.quarantined"), Some(&2));
+    }
+
+    #[test]
+    fn budget_ladder_degrades_later_objects_deterministically() {
+        let w = world();
+        let c = populated_collector(&w, 6);
+        let objects: Vec<ObjectId> = (0..6u32).map(ObjectId::new).collect();
+        let recorder = ripq_obs::Recorder::enabled();
+        let pre = ParticlePreprocessor::new(
+            &w.graph,
+            &w.anchors,
+            &w.readers,
+            PreprocessorConfig::default(),
+        )
+        .with_recorder(&recorder);
+        // Each object costs ~(8-0)·64 = 512 full / 8·16 = 128 reduced.
+        // 700 buys one full run, one reduced run, then fallbacks.
+        let opts = SupervisionOptions {
+            budget: Some(700),
+            ..Default::default()
+        };
+        let run = |workers| pre.process_supervised(9, &c, &objects, 8, None, Some(workers), &opts);
+        let out = run(1);
+        let levels: Vec<DegradationLevel> = objects.iter().map(|o| out.degradation[o]).collect();
+        assert_eq!(levels[0], DegradationLevel::Full);
+        assert_eq!(levels[1], DegradationLevel::ReducedParticles);
+        assert!(levels[2..]
+            .iter()
+            .all(|&l| l == DegradationLevel::UniformFallback));
+        // Every answer is still a distribution.
+        for o in &objects {
+            let total: f64 = out.index.total_probability(o);
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        // Same budget, more workers: identical ladder and answers.
+        let par = run(4);
+        for o in &objects {
+            assert_eq!(out.degradation.get(o), par.degradation.get(o));
+            assert_eq!(out.index.distribution(o), par.index.distribution(o));
+        }
+        let counters = recorder.snapshot().counters;
+        assert_eq!(counters.get("degrade.reduced"), Some(&2));
+        assert_eq!(counters.get("degrade.fallback"), Some(&8));
+        assert_eq!(counters.get("degrade.budget_exhausted"), Some(&8));
+    }
+
+    #[test]
+    fn degradation_levels_order_worst_last() {
+        assert!(DegradationLevel::Full < DegradationLevel::ReducedParticles);
+        assert!(DegradationLevel::ReducedParticles < DegradationLevel::UniformFallback);
+        assert!(DegradationLevel::UniformFallback < DegradationLevel::Quarantined);
+        assert_eq!(
+            DegradationLevel::ReducedParticles.to_string(),
+            "reduced-particles"
+        );
+    }
+
+    #[test]
+    fn fallback_distribution_stays_near_last_reader() {
+        let w = world();
+        let mut c = DataCollector::new();
+        let r = &w.readers[6];
+        for s in 0..3u64 {
+            c.ingest_second(s, &[(O, r.id())]);
+        }
+        let pre = ParticlePreprocessor::new(
+            &w.graph,
+            &w.anchors,
+            &w.readers,
+            PreprocessorConfig::default(),
+        );
+        let out = pre.process_supervised(
+            3,
+            &c,
+            &[O],
+            4,
+            None,
+            None,
+            &SupervisionOptions {
+                budget: Some(0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            out.degradation.get(&O),
+            Some(&DegradationLevel::UniformFallback)
+        );
+        let dist = out.index.distribution(&O).unwrap();
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // now=4, t_last=2 → radius = 2.0 + (1.0+0.3)·2 = 4.6.
+        for &(a, _) in dist {
+            let d = w.anchors.anchor(a).point.distance(r.position());
+            assert!(d <= 4.6 + 1e-9, "anchor {a} at distance {d} outside circle");
+        }
     }
 
     #[test]

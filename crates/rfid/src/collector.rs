@@ -12,6 +12,7 @@
 
 use crate::{ObjectId, RawReading, ReaderId};
 use ripq_obs::{Counter, Recorder};
+use ripq_persist::{ByteReader, ByteWriter, PersistError};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -546,6 +547,170 @@ impl DataCollector {
     pub fn forget(&mut self, o: ObjectId) {
         self.objects.remove(&o);
     }
+
+    /// Appends the collector's full mutable state to `w` in the canonical
+    /// checkpoint encoding (objects sorted by id, pending buckets in
+    /// `BTreeMap` order), so equal state always encodes to identical
+    /// bytes. Metric handles are not part of the state — re-attach them
+    /// with [`DataCollector::set_recorder`] after a decode.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_opt_u64(self.current_second);
+        w.put_u64(self.gap_tolerance);
+        w.put_u64(self.idle_cutoff);
+        w.put_u64(self.max_events as u64);
+        w.put_u64(self.reorder_window);
+        w.put_opt_u64(self.max_logical_seen);
+
+        let mut ids: Vec<ObjectId> = self.objects.keys().copied().collect();
+        ids.sort();
+        w.put_seq_len(ids.len());
+        for id in ids {
+            let st = &self.objects[&id];
+            w.put_u32(id.raw());
+            w.put_u64(st.start_second);
+            w.put_seq_len(st.entries.len());
+            for entry in &st.entries {
+                match entry {
+                    Some(r) => {
+                        w.put_u8(1);
+                        w.put_u32(r.raw());
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+            w.put_seq_len(st.episodes.len());
+            for ep in &st.episodes {
+                w.put_u32(ep.reader.raw());
+                w.put_u64(ep.first_second);
+                w.put_u64(ep.last_second);
+            }
+            w.put_u64(st.last_detection);
+            w.put_seq_len(st.events.len());
+            for ev in &st.events {
+                w.put_u8(match ev.kind {
+                    EventKind::Enter => 0,
+                    EventKind::Leave => 1,
+                });
+                w.put_u32(ev.reader.raw());
+                w.put_u64(ev.second);
+            }
+        }
+
+        w.put_seq_len(self.pending.len());
+        for (&second, bucket) in &self.pending {
+            w.put_u64(second);
+            w.put_seq_len(bucket.len());
+            for &(object, reader) in bucket {
+                w.put_u32(object.raw());
+                w.put_u32(reader.raw());
+            }
+        }
+
+        w.put_seq_len(self.outages.len());
+        for o in &self.outages {
+            w.put_u32(o.reader.raw());
+            w.put_u64(o.from);
+            w.put_u64(o.until);
+        }
+    }
+
+    /// Rebuilds a collector from bytes written by
+    /// [`DataCollector::encode_state`]. Any truncation or invalid tag is
+    /// [`PersistError::Torn`]; the returned collector has detached metric
+    /// handles until [`DataCollector::set_recorder`] is called.
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<DataCollector, PersistError> {
+        let current_second = r.get_opt_u64()?;
+        let gap_tolerance = r.get_u64()?;
+        let idle_cutoff = r.get_u64()?;
+        let max_events = r.get_u64()? as usize;
+        let reorder_window = r.get_u64()?;
+        let max_logical_seen = r.get_opt_u64()?;
+
+        let mut objects = HashMap::new();
+        let n_objects = r.get_seq_len(13)?;
+        for _ in 0..n_objects {
+            let id = ObjectId::new(r.get_u32()?);
+            let start_second = r.get_u64()?;
+            let n_entries = r.get_seq_len(1)?;
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                entries.push(match r.get_u8()? {
+                    0 => None,
+                    1 => Some(ReaderId::new(r.get_u32()?)),
+                    _ => return Err(PersistError::Torn),
+                });
+            }
+            let n_episodes = r.get_seq_len(20)?;
+            let mut episodes = Vec::with_capacity(n_episodes);
+            for _ in 0..n_episodes {
+                episodes.push(Episode {
+                    reader: ReaderId::new(r.get_u32()?),
+                    first_second: r.get_u64()?,
+                    last_second: r.get_u64()?,
+                });
+            }
+            let last_detection = r.get_u64()?;
+            let n_events = r.get_seq_len(13)?;
+            let mut events = Vec::with_capacity(n_events);
+            for _ in 0..n_events {
+                let kind = match r.get_u8()? {
+                    0 => EventKind::Enter,
+                    1 => EventKind::Leave,
+                    _ => return Err(PersistError::Torn),
+                };
+                events.push(RfidEvent {
+                    kind,
+                    reader: ReaderId::new(r.get_u32()?),
+                    second: r.get_u64()?,
+                });
+            }
+            objects.insert(
+                id,
+                ObjectState {
+                    start_second,
+                    entries,
+                    episodes,
+                    last_detection,
+                    events,
+                },
+            );
+        }
+
+        let mut pending = BTreeMap::new();
+        let n_pending = r.get_seq_len(12)?;
+        for _ in 0..n_pending {
+            let second = r.get_u64()?;
+            let n = r.get_seq_len(8)?;
+            let mut bucket = Vec::with_capacity(n);
+            for _ in 0..n {
+                bucket.push((ObjectId::new(r.get_u32()?), ReaderId::new(r.get_u32()?)));
+            }
+            pending.insert(second, bucket);
+        }
+
+        let n_outages = r.get_seq_len(20)?;
+        let mut outages = Vec::with_capacity(n_outages);
+        for _ in 0..n_outages {
+            outages.push(OutageWindow {
+                reader: ReaderId::new(r.get_u32()?),
+                from: r.get_u64()?,
+                until: r.get_u64()?,
+            });
+        }
+
+        Ok(DataCollector {
+            objects,
+            metrics: CollectorMetrics::default(),
+            current_second,
+            gap_tolerance,
+            idle_cutoff,
+            max_events,
+            reorder_window,
+            pending,
+            max_logical_seen,
+            outages,
+        })
+    }
 }
 
 /// The first second after `after` at which `reader` is not inside any
@@ -1010,6 +1175,79 @@ mod tests {
             .collect();
         assert_eq!(leaves.len(), 1, "got {leaves:?}");
         assert_eq!(c.last_two_devices(O), Some((D1, Some(D2))));
+    }
+
+    /// Drives a collector through a state-rich history: multiple objects,
+    /// episode evictions, a reorder buffer with still-pending readings,
+    /// and a registered outage window.
+    fn eventful_collector() -> DataCollector {
+        let mut c = DataCollector::new();
+        c.set_reorder_window(2);
+        c.note_outage(D3, 10, 14);
+        let o2 = ObjectId::new(4);
+        c.ingest_delivery(0, &[(0, O, D1), (0, o2, D2)]);
+        c.ingest_delivery(1, &[(1, O, D1)]);
+        c.ingest_delivery(3, &[(2, O, D1), (3, o2, D3)]);
+        c.ingest_delivery(5, &[(4, O, D2), (5, O, D2), (5, o2, D3)]);
+        // Still buffered (watermark has not reached them yet).
+        c.ingest_delivery(6, &[(6, O, D3), (6, o2, D1)]);
+        c
+    }
+
+    #[test]
+    fn state_codec_round_trips_and_is_canonical() {
+        let c = eventful_collector();
+        let mut w = ByteWriter::new();
+        c.encode_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // Equal state encodes identically (HashMap order must not leak).
+        let mut w2 = ByteWriter::new();
+        eventful_collector().encode_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "encoding is not canonical");
+
+        let mut r = ByteReader::new(&bytes);
+        let d = DataCollector::decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Decoded collector re-encodes to the same bytes...
+        let mut w3 = ByteWriter::new();
+        d.encode_state(&mut w3);
+        assert_eq!(bytes, w3.into_bytes(), "decode/encode not a round trip");
+
+        // ...and behaves identically on the remaining stream.
+        let (mut a, mut b) = (c, d);
+        for s in 7..=12u64 {
+            let batch = [(s, O, D1), (s, ObjectId::new(4), D2)];
+            a.ingest_delivery(s, &batch);
+            b.ingest_delivery(s, &batch);
+        }
+        a.flush_through(12);
+        b.flush_through(12);
+        for o in [O, ObjectId::new(4)] {
+            assert_eq!(a.events(o), b.events(o));
+            assert_eq!(a.last_two_devices(o), b.last_two_devices(o));
+            let (aa, ba) = (a.aggregated(o).unwrap(), b.aggregated(o).unwrap());
+            assert_eq!(aa.start_second, ba.start_second);
+            assert_eq!(aa.entries, ba.entries);
+        }
+        assert_eq!(a.current_second(), b.current_second());
+    }
+
+    #[test]
+    fn truncated_state_is_torn_not_a_panic() {
+        let c = eventful_collector();
+        let mut w = ByteWriter::new();
+        c.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert_eq!(
+                DataCollector::decode_state(&mut r).unwrap_err(),
+                PersistError::Torn,
+                "cut at {cut} not detected"
+            );
+        }
     }
 
     #[test]

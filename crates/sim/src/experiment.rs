@@ -8,17 +8,20 @@
 //! generated range and kNN queries.
 
 use crate::{
+    checkpoint,
     metrics::{self, Mean},
     ExperimentParams, FaultInjector, GroundTruth, ReadingGenerator, SimWorld, TraceGenerator,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use ripq_core::{evaluate_knn, evaluate_range, KnnQuery, QueryId};
+use ripq_core::{evaluate_knn, evaluate_range, KnnQuery, QueryId, RecoveryOutcome};
 use ripq_geom::{Point2, Rect};
 use ripq_obs::{MetricsSnapshot, Recorder};
-use ripq_pf::{ParticleCache, ParticlePreprocessor, PreprocessorConfig};
+use ripq_pf::{ParticleCache, ParticlePreprocessor, PreprocessorConfig, SupervisionOptions};
 use ripq_rfid::{DataCollector, ObjectId};
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Averaged accuracy results of one experiment — one point on each curve
 /// of Figures 9–13.
@@ -100,18 +103,66 @@ impl AccuracyAccumulator {
 pub struct Experiment {
     params: ExperimentParams,
     world: SimWorld,
+    /// Directory holding the crash-recovery snapshot (`experiment.ckpt`);
+    /// `None` disables both checkpointing and resume.
+    checkpoint_dir: Option<PathBuf>,
+    /// Simulated-crash knob: abandon the run at the top of this second,
+    /// before any checkpoint due there is written. For recovery tests.
+    kill_after: Option<u64>,
+    /// What the most recent run found on disk (behind a mutex only to
+    /// keep `Experiment: Sync`; `run` takes `&self`).
+    last_recovery: Mutex<Option<RecoveryOutcome>>,
 }
 
 impl Experiment {
     /// Builds the world for `params`.
     pub fn new(params: ExperimentParams) -> Self {
         let world = SimWorld::build(&params);
-        Experiment { params, world }
+        Experiment::with_world(params, world)
     }
 
     /// Runs the experiment over a caller-supplied world (any floor plan).
     pub fn with_world(params: ExperimentParams, world: SimWorld) -> Self {
-        Experiment { params, world }
+        Experiment {
+            params,
+            world,
+            checkpoint_dir: None,
+            kill_after: None,
+            last_recovery: Mutex::new(None),
+        }
+    }
+
+    /// Enables crash recovery: `run` first tries to resume from
+    /// `dir/experiment.ckpt` (quarantining a damaged or mismatched file),
+    /// then writes a fresh snapshot there every
+    /// [`ExperimentParams::checkpoint_every`] simulated seconds.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// The configured checkpoint directory, if any.
+    pub fn checkpoint_dir(&self) -> Option<&std::path::Path> {
+        self.checkpoint_dir.as_deref()
+    }
+
+    /// Simulates a crash: the run loop abandons everything at the top of
+    /// `second`, before writing any checkpoint due there. The partial
+    /// report it returns is exactly what a killed process would never get
+    /// to use; a subsequent `run` on a checkpoint-enabled experiment
+    /// resumes from the last durable snapshot.
+    pub fn with_kill_after(mut self, second: u64) -> Self {
+        self.kill_after = Some(second);
+        self
+    }
+
+    /// What the most recent `run` found on disk: `None` before any run or
+    /// when no checkpoint directory is configured.
+    pub fn last_recovery(&self) -> Option<RecoveryOutcome> {
+        self.last_recovery
+            .lock()
+            .map(|g| g.clone())
+            .unwrap_or_default()
     }
 
     /// The parameters in use.
@@ -232,7 +283,7 @@ impl Experiment {
                 collector.note_outage(o.reader, o.from, o.until);
             }
         }
-        let cache = ParticleCache::new();
+        let mut cache = ParticleCache::new();
         let pf_config = PreprocessorConfig {
             num_particles: p.num_particles,
             negative_evidence: p.negative_evidence,
@@ -261,12 +312,86 @@ impl Experiment {
         let mut err_pf = Mean::default();
         let mut err_sm = Mean::default();
 
+        // Crash recovery. Everything above this point — traces, readers,
+        // ground truth, query points, the outage schedule — is a pure
+        // function of the params and was regenerated identically; the
+        // snapshot restores only what the loop below mutates, then the
+        // loop re-enters at the checkpointed second. A fingerprint check
+        // inside the decoder quarantines snapshots from other parameter
+        // sets.
+        let fingerprint = checkpoint::params_fingerprint(p);
+        let ckpt_path = self
+            .checkpoint_dir
+            .as_deref()
+            .map(checkpoint::snapshot_path);
+        let mut start_second = 0u64;
+        if let Some(path) = &ckpt_path {
+            let (outcome, restored) = checkpoint::load_or_quarantine(path, fingerprint, recorder);
+            if let Some(ck) = restored {
+                collector = ck.collector;
+                collector.set_recorder(recorder);
+                cache = ParticleCache::from_shared(ck.cache);
+                rng_sense = StdRng::from_state(ck.rng_sense);
+                rng_pf = StdRng::from_state(ck.rng_pf);
+                rng_query = StdRng::from_state(ck.rng_query);
+                next_ts = ck.next_ts as usize;
+                [kl_pf, kl_sm, hit_pf, hit_sm, top1, top2, err_pf, err_sm] =
+                    ck.means.map(Mean::from_state);
+                if let Some(inj) = injector.as_mut() {
+                    inj.restore_pending(ck.pending);
+                }
+                // Update-in-place: handles resolved above (collector,
+                // injector, preprocessor) stay live across the restore.
+                recorder.restore(&ck.metrics);
+                start_second = ck.next_second;
+            }
+            if let Ok(mut slot) = self.last_recovery.lock() {
+                *slot = Some(outcome);
+            }
+        }
+
+        let supervision = SupervisionOptions {
+            budget: p.query_budget,
+            ..SupervisionOptions::default()
+        };
+
         let horizon = if injector.is_some() {
             p.duration + jitter
         } else {
             p.duration
         };
-        for second in 0..=horizon {
+        for second in start_second..=horizon {
+            // Simulated crash — before the checkpoint due this second, so
+            // recovery replays from the previous snapshot, never this one.
+            if self.kill_after == Some(second) {
+                break;
+            }
+            if let Some(path) = &ckpt_path {
+                if p.checkpoint_every > 0 && second > 0 && second.is_multiple_of(p.checkpoint_every)
+                {
+                    let metrics = recorder.snapshot();
+                    let view = checkpoint::CheckpointView {
+                        fingerprint,
+                        next_second: second,
+                        next_ts: next_ts as u64,
+                        collector: &collector,
+                        cache: cache.shared(),
+                        rng_sense: rng_sense.state(),
+                        rng_pf: rng_pf.state(),
+                        rng_query: rng_query.state(),
+                        means: [kl_pf, kl_sm, hit_pf, hit_sm, top1, top2, err_pf, err_sm]
+                            .map(|m| m.state()),
+                        pending: injector.as_ref().map(|inj| inj.pending()),
+                        metrics: &metrics,
+                    };
+                    match checkpoint::save(path, &view) {
+                        Ok(()) => recorder.add("recovery.checkpoints_written", 1),
+                        // Best effort: a full disk must degrade durability,
+                        // not kill the run.
+                        Err(_) => recorder.add("recovery.checkpoint_errors", 1),
+                    }
+                }
+            }
             match injector.as_mut() {
                 None => {
                     let detections = reading_gen.detections_at(&mut rng_sense, &traces, second);
@@ -302,14 +427,23 @@ impl Experiment {
                 let pass_seed: u64 = rng_pf.random();
                 // ripq-lint: allow(no-nondeterminism) -- wall-clock span timing, recorder-gated, never feeds results
                 let t_pf = obs_on.then(Instant::now);
-                let pf_index = preprocessor.process_streamed(
+                // The supervised path adds panic isolation and the
+                // deadline-budget degradation ladder; with the default
+                // budget (`None`) it is the exact streamed pass.
+                let supervised = preprocessor.process_supervised(
                     pass_seed,
                     &collector,
                     &objects,
                     now,
                     Some(cache.shared()),
                     p.parallelism,
+                    &supervision,
                 );
+                // Lazily counted so fault-free goldens never see the name.
+                if !supervised.degradation.is_empty() {
+                    recorder.add("sim.objects_degraded", supervised.degradation.len() as u64);
+                }
+                let pf_index = supervised.index;
                 if let Some(t) = t_pf {
                     recorder.record_span("run/pf_index", t.elapsed());
                 }
@@ -594,6 +728,212 @@ mod tests {
         })
         .run();
         assert_eq!(clean, delay_only, "in-window reorder must be absorbed");
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ripq_sim_exp_ckpt_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Counters/gauges minus the `recovery.*` bookkeeping, which by
+    /// design differs between an uninterrupted life and a resumed one.
+    fn comparable_counters(s: &MetricsSnapshot) -> std::collections::BTreeMap<String, u64> {
+        s.counters
+            .iter()
+            .filter(|(k, _)| !k.starts_with("recovery."))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    #[test]
+    fn killed_run_resumes_bit_for_bit() {
+        let params = ExperimentParams {
+            checkpoint_every: 20,
+            observability: true,
+            ..ExperimentParams::smoke()
+        };
+        let (golden, golden_snap) = Experiment::new(params).run_with_metrics();
+        let golden_snap = golden_snap.expect("observability on");
+
+        let dir = ckpt_dir("resume");
+        let life1 = Experiment::new(params)
+            .with_checkpoint_dir(&dir)
+            .with_kill_after(90);
+        let _ = life1.run_with_metrics();
+        assert_eq!(life1.last_recovery(), Some(RecoveryOutcome::ColdStart));
+
+        // Life 2 resumes — under a different worker count, which must not
+        // change a single bit of the answers.
+        let life2 = Experiment::new(ExperimentParams {
+            parallelism: Some(2),
+            ..params
+        })
+        .with_checkpoint_dir(&dir);
+        let (report, snap) = life2.run_with_metrics();
+        let snap = snap.expect("observability on");
+        assert_eq!(
+            life2.last_recovery(),
+            Some(RecoveryOutcome::Resumed { replay_from: 80 })
+        );
+        // AccuracyReport is Copy/PartialEq over f64 fields — this is a
+        // bit-for-bit comparison of every metric.
+        assert_eq!(report, golden);
+        assert_eq!(
+            comparable_counters(&snap),
+            comparable_counters(&golden_snap)
+        );
+        assert_eq!(snap.gauges, golden_snap.gauges);
+        assert_eq!(snap.histograms, golden_snap.histograms);
+        let span_counts = |s: &MetricsSnapshot| {
+            s.spans
+                .iter()
+                .map(|(k, v)| (k.clone(), v.count))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(span_counts(&snap), span_counts(&golden_snap));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_run_resumes_through_the_jitter_buffer() {
+        // Delay + drop faults keep readings in the injector's in-flight
+        // buffer across the kill point, so this exercises the pending
+        // snapshot/restore path end to end.
+        let params = ExperimentParams {
+            faults: crate::FaultPlan {
+                drop_probability: 0.2,
+                duplicate_probability: 0.1,
+                max_delay_seconds: 3,
+                outage_rate: 0.002,
+                ..crate::FaultPlan::none()
+            },
+            checkpoint_every: 7,
+            ..ExperimentParams::smoke()
+        };
+        let golden = Experiment::new(params).run();
+
+        let dir = ckpt_dir("faulted_resume");
+        let _ = Experiment::new(params)
+            .with_checkpoint_dir(&dir)
+            .with_kill_after(93)
+            .run();
+        let life2 = Experiment::new(params).with_checkpoint_dir(&dir);
+        let report = life2.run();
+        assert_eq!(
+            life2.last_recovery(),
+            Some(RecoveryOutcome::Resumed { replay_from: 91 })
+        );
+        assert_eq!(report, golden);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_snapshot_quarantines_and_cold_rebuild_matches() {
+        let params = ExperimentParams {
+            checkpoint_every: 20,
+            ..ExperimentParams::smoke()
+        };
+        let golden = Experiment::new(params).run();
+
+        let dir = ckpt_dir("damaged");
+        let _ = Experiment::new(params)
+            .with_checkpoint_dir(&dir)
+            .with_kill_after(100)
+            .run();
+        // Flip one bit in the middle of the snapshot.
+        let path = crate::checkpoint::snapshot_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        // ripq-lint: allow(atomic-persistence) -- test deliberately plants a corrupted file
+        std::fs::write(&path, &bytes).unwrap();
+
+        let life2 = Experiment::new(params).with_checkpoint_dir(&dir);
+        let report = life2.run();
+        match life2.last_recovery() {
+            Some(RecoveryOutcome::Quarantined { path: moved }) => {
+                assert!(moved.to_string_lossy().ends_with(".corrupt"));
+                assert!(moved.exists());
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(report, golden, "cold rebuild after quarantine must match");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_params_snapshot_is_not_resumed() {
+        let params = ExperimentParams {
+            checkpoint_every: 20,
+            ..ExperimentParams::smoke()
+        };
+        let dir = ckpt_dir("stale_params");
+        let _ = Experiment::new(params)
+            .with_checkpoint_dir(&dir)
+            .with_kill_after(100)
+            .run();
+
+        // Same directory, different seed: the fingerprint must refuse it.
+        let other = ExperimentParams {
+            seed: params.seed + 1,
+            ..params
+        };
+        let golden = Experiment::new(other).run();
+        let life2 = Experiment::new(other).with_checkpoint_dir(&dir);
+        let report = life2.run();
+        assert!(matches!(
+            life2.last_recovery(),
+            Some(RecoveryOutcome::Quarantined { .. })
+        ));
+        assert_eq!(report, golden);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_results() {
+        let base = ExperimentParams::smoke();
+        let clean = Experiment::new(base).run();
+        let dir = ckpt_dir("overhead");
+        let checked = Experiment::new(ExperimentParams {
+            checkpoint_every: 10,
+            ..base
+        })
+        .with_checkpoint_dir(&dir);
+        let report = checked.run();
+        assert_eq!(checked.last_recovery(), Some(RecoveryOutcome::ColdStart));
+        assert_eq!(clean, report, "checkpoint writes must not touch results");
+        assert!(crate::checkpoint::snapshot_path(&dir).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_budget_degrades_deterministically() {
+        let params = ExperimentParams {
+            query_budget: Some(500),
+            observability: true,
+            ..ExperimentParams::smoke()
+        };
+        let (r1, s1) = Experiment::new(params).run_with_metrics();
+        let (r2, s2) = Experiment::new(ExperimentParams {
+            parallelism: Some(4),
+            ..params
+        })
+        .run_with_metrics();
+        assert_eq!(r1, r2, "budgeted degradation must stay deterministic");
+        let s1 = s1.unwrap();
+        assert_eq!(s1.counters, s2.unwrap().counters);
+        assert!(
+            s1.counters
+                .get("sim.objects_degraded")
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "a 500-unit budget over 30 objects must force degradation"
+        );
+        // Degraded answers are still answers.
+        assert!(r1.range_queries_evaluated > 0);
+        assert!((0.0..=1.0).contains(&r1.knn_hit_pf));
     }
 
     #[test]

@@ -200,6 +200,19 @@ impl FaultInjector {
         self.pending.values().map(Vec::len).sum()
     }
 
+    /// The jitter buffer keyed by delivery second — the injector's only
+    /// mutable state (the outage schedule is re-derived from the plan), so
+    /// this plus [`FaultInjector::restore_pending`] is all a checkpoint
+    /// needs.
+    pub fn pending(&self) -> &BTreeMap<u64, Vec<TaggedReading>> {
+        &self.pending
+    }
+
+    /// Replaces the jitter buffer with checkpointed state.
+    pub fn restore_pending(&mut self, pending: BTreeMap<u64, Vec<TaggedReading>>) {
+        self.pending = pending;
+    }
+
     fn is_down(&self, reader: ReaderId, second: u64) -> bool {
         self.outages
             .iter()
@@ -435,7 +448,7 @@ mod tests {
         for o in &a {
             assert!(o.from <= o.until);
             assert!(o.until <= 300);
-            assert!(o.until - o.from + 1 <= 19, "length ≤ 2·mean−1");
+            assert!(o.until - o.from < 19, "length ≤ 2·mean−1");
         }
         // Per-reader windows never overlap.
         for w in a.iter().zip(a.iter().skip(1)) {

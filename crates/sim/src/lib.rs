@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod experiment;
 mod faults;
 mod ground_truth;
@@ -36,6 +37,7 @@ mod trace;
 pub mod viz;
 mod world;
 
+pub use checkpoint::RecoveryOutcome;
 pub use experiment::{AccuracyAccumulator, AccuracyReport, Experiment};
 pub use faults::{derive_fault_seed, random_outages, FaultInjector, FaultPlan, TaggedReading};
 pub use ground_truth::GroundTruth;

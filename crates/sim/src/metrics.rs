@@ -183,6 +183,16 @@ impl Mean {
     pub fn count(&self) -> u64 {
         self.n
     }
+
+    /// The raw `(sum, count)` accumulator state, for checkpointing.
+    pub fn state(&self) -> (f64, u64) {
+        (self.sum, self.n)
+    }
+
+    /// Rebuilds an accumulator from [`Mean::state`] output.
+    pub fn from_state((sum, n): (f64, u64)) -> Self {
+        Mean { sum, n }
+    }
 }
 
 #[cfg(test)]

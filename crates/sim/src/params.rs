@@ -77,6 +77,18 @@ pub struct ExperimentParams {
     /// fault-free runs are bit-identical to what they were before the
     /// fault layer existed.
     pub faults: FaultPlan,
+    /// Write a crash-recovery checkpoint every this many simulated seconds
+    /// (0 = never). Takes effect only when the experiment also has a
+    /// checkpoint directory configured via
+    /// [`Experiment::with_checkpoint_dir`](crate::Experiment::with_checkpoint_dir).
+    pub checkpoint_every: u64,
+    /// Deadline budget per evaluation pass, in logical cost units
+    /// (`coasted seconds × particle count` per object). `None` = always
+    /// run the full filter; `Some(b)` lets the preprocessor degrade
+    /// answers (reduced particle counts, then the uniform pruning-circle
+    /// fallback) once the budget is spent. Deterministic: the cost model
+    /// counts logical work, never wall-clock time.
+    pub query_budget: Option<u64>,
     /// Collect pipeline metrics during the run (see
     /// [`Experiment::run_with_metrics`](crate::Experiment::run_with_metrics)).
     /// Off by default: the disabled recorder reduces every instrument
@@ -113,6 +125,8 @@ impl Default for ExperimentParams {
             kld_adaptive: false,
             parallelism: None,
             faults: FaultPlan::none(),
+            checkpoint_every: 0,
+            query_budget: None,
             observability: false,
             seed: 0xED8_2013,
         }

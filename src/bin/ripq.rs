@@ -17,7 +17,8 @@ use ripq::floorplan::{
 use ripq::pf::{reconstruct_trajectory, TrajectoryConfig};
 use ripq::rfid::HistoryCollector;
 use ripq::sim::{
-    Experiment, ExperimentParams, FaultPlan, ReadingGenerator, SimWorld, SvgScene, TraceGenerator,
+    Experiment, ExperimentParams, FaultPlan, ReadingGenerator, RecoveryOutcome, SimWorld, SvgScene,
+    TraceGenerator,
 };
 
 fn main() {
@@ -49,6 +50,7 @@ fn main() {
                  plan [office|mall|subway|tower] [--svg FILE]\n\
                  simulate [--objects N] [--duration S] [--seed N] [--parallelism N]\n\
                  \x20        [--metrics-json FILE] [--trace]\n\
+                 \x20        [--checkpoint-dir DIR] [--checkpoint-every S] [--query-budget N]\n\
                  \x20        [--fault-drop P] [--fault-dup P] [--fault-delay S]\n\
                  \x20        [--fault-outage-rate P] [--fault-outage-mean S] [--fault-seed N]\n\
                  trace [--object N] [--duration S] [--seed N] [--svg FILE]\n\
@@ -137,10 +139,25 @@ fn write_metrics_json(path: &str, json: &str) -> Result<(), RipqError> {
     std::fs::write(path, json).map_err(|e| RipqError::Io(format!("{path}: {e}")))
 }
 
+/// Eagerly validates the checkpoint directory — creates it and probes
+/// writability — so an unusable `--checkpoint-dir` fails up front with a
+/// clean error instead of silently degrading every in-run snapshot.
+fn prepare_checkpoint_dir(dir: &str) -> Result<(), RipqError> {
+    std::fs::create_dir_all(dir).map_err(|e| RipqError::Io(format!("{dir}: {e}")))?;
+    let probe = std::path::Path::new(dir).join(".ripq-write-probe");
+    // ripq-lint: allow(atomic-persistence) -- content-free writability probe, removed immediately
+    std::fs::write(&probe, b"").map_err(|e| RipqError::Io(format!("{dir}: {e}")))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
+}
+
 fn cmd_simulate(args: &[String]) {
     let metrics_json = flag(args, "--metrics-json");
     let trace_spans = args.iter().any(|a| a == "--trace");
     let faults = fault_plan_from_args(args);
+    let checkpoint_dir = flag(args, "--checkpoint-dir");
+    let checkpoint_every: u64 = parse_or(flag(args, "--checkpoint-every"), 30);
+    let query_budget: Option<u64> = flag(args, "--query-budget").and_then(|s| s.parse().ok());
     let params = ExperimentParams {
         num_objects: parse_or(flag(args, "--objects"), 60),
         duration: parse_or(flag(args, "--duration"), 240),
@@ -153,6 +170,12 @@ fn cmd_simulate(args: &[String]) {
         knn_query_points: 12,
         observability: metrics_json.is_some() || trace_spans,
         faults,
+        checkpoint_every: if checkpoint_dir.is_some() {
+            checkpoint_every
+        } else {
+            0
+        },
+        query_budget,
         ..Default::default()
     };
     println!(
@@ -174,7 +197,35 @@ fn cmd_simulate(args: &[String]) {
             faults.seed
         );
     }
-    let (r, snapshot) = Experiment::new(params).run_with_metrics();
+    if let Some(budget) = query_budget {
+        println!(
+            "query budget: {budget} cost units per evaluation pass (degraded answers allowed)"
+        );
+    }
+    let mut experiment = Experiment::new(params);
+    if let Some(dir) = &checkpoint_dir {
+        if let Err(e) = prepare_checkpoint_dir(dir) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "recovery plan: checkpoint to {dir}/experiment.ckpt every {checkpoint_every} s, \
+             resuming from any valid snapshot found there"
+        );
+        experiment = experiment.with_checkpoint_dir(dir);
+    }
+    let (r, snapshot) = experiment.run_with_metrics();
+    match experiment.last_recovery() {
+        None => {}
+        Some(RecoveryOutcome::ColdStart) => println!("recovery: cold start (no snapshot on disk)"),
+        Some(RecoveryOutcome::Resumed { replay_from }) => {
+            println!("recovery: resumed from second {replay_from}");
+        }
+        Some(RecoveryOutcome::Quarantined { path }) => println!(
+            "recovery: damaged snapshot quarantined to {}; rebuilt from scratch",
+            path.display()
+        ),
+    }
     println!(
         "range-query KL divergence: PF {:.3}  SM {:.3}",
         r.range_kl_pf, r.range_kl_sm

@@ -36,6 +36,7 @@ pub use ripq_floorplan as floorplan;
 pub use ripq_geom as geom;
 pub use ripq_graph as graph;
 pub use ripq_obs as obs;
+pub use ripq_persist as persist;
 pub use ripq_pf as pf;
 pub use ripq_rfid as rfid;
 pub use ripq_sim as sim;

@@ -108,7 +108,7 @@ const STREAM_OBJECTS: u32 = 6;
 fn clean_detections(second: u64, readers: &[ReaderId]) -> Vec<(ObjectId, ReaderId)> {
     let mut out = Vec::new();
     for i in 0..STREAM_OBJECTS {
-        if (second + u64::from(i)) % 11 == 0 {
+        if (second + u64::from(i)).is_multiple_of(11) {
             continue;
         }
         let r = (u64::from(i) * 3 + second / 6) % readers.len() as u64;

@@ -115,6 +115,111 @@ fn unwritable_metrics_json_is_a_clean_error() {
 }
 
 #[test]
+fn unwritable_checkpoint_dir_is_a_clean_error() {
+    // Plant a *file* where the directory should go: create_dir_all must
+    // fail, and the CLI must surface it as a RipqError::Io up front.
+    let blocker = std::env::temp_dir().join("ripq_cli_test_ckpt_blocker");
+    let _ = std::fs::remove_dir_all(&blocker);
+    let _ = std::fs::remove_file(&blocker);
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let out = ripq(&[
+        "simulate",
+        "--objects",
+        "4",
+        "--duration",
+        "60",
+        "--checkpoint-dir",
+        blocker.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "must exit nonzero");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("error: io error"),
+        "expected a RipqError::Io message, got: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "must fail cleanly, not panic: {err}"
+    );
+    // The failure is eager: no partial simulation output before it.
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(!text.contains("range-query KL divergence"), "{text}");
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
+fn checkpointed_simulate_echoes_the_recovery_plan_and_resumes() {
+    let dir = std::env::temp_dir().join("ripq_cli_test_ckpt_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let args = [
+        "simulate",
+        "--objects",
+        "4",
+        "--duration",
+        "80",
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "20",
+    ];
+    // First run: plan echoed, cold start, snapshot left behind.
+    let out = ripq(&args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("recovery plan: checkpoint to") && text.contains("every 20 s"),
+        "plan not echoed: {text}"
+    );
+    assert!(text.contains("recovery: cold start"), "{text}");
+    assert!(dir.join("experiment.ckpt").exists(), "snapshot written");
+
+    // Second run over the same directory resumes from the snapshot.
+    let again = String::from_utf8(ripq(&args).stdout).unwrap();
+    assert!(
+        again.contains("recovery: resumed from second 80"),
+        "resume not echoed: {again}"
+    );
+    // The resumed tail reproduces the uninterrupted numbers exactly: every
+    // accuracy line printed after the recovery banner matches run one.
+    let tail = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("recovery:"))
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(tail(&text), tail(&again));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_budget_flag_is_echoed_and_deterministic() {
+    let args = [
+        "simulate",
+        "--objects",
+        "6",
+        "--duration",
+        "80",
+        "--query-budget",
+        "500",
+    ];
+    let out = ripq(&args);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("query budget: 500 cost units"),
+        "budget not echoed: {text}"
+    );
+    assert!(text.contains("range-query KL divergence"));
+    let again = String::from_utf8(ripq(&args).stdout).unwrap();
+    assert_eq!(text, again, "budgeted runs must be reproducible");
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = ripq(&["bogus"]);
     assert!(!out.status.success());

@@ -196,6 +196,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing a generator
+        /// mid-stream. Restoring via [`StdRng::from_state`] continues the
+        /// exact output sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
@@ -255,6 +270,18 @@ mod tests {
             assert!((-2.0..=3.5).contains(&f));
         }
         assert_eq!(rng.random_range(5u64..=5), 5);
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

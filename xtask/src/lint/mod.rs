@@ -1,7 +1,7 @@
 //! `cargo xtask lint` — the repo-specific static-analysis gate.
 //!
 //! Walks every workspace crate (vendored stand-ins under `vendor/` are
-//! excluded — they are external code) and enforces the R1–R5 rules from
+//! excluded — they are external code) and enforces the R1–R6 rules from
 //! [`rules`]. Violations can be silenced two ways, both requiring a
 //! written reason:
 //!
@@ -43,7 +43,7 @@ pub enum DiagStatus {
 /// One diagnostic produced by the gate.
 #[derive(Debug)]
 pub struct Diagnostic {
-    /// Rule short id (`R1` … `R5`).
+    /// Rule short id (`R1` … `R6`).
     pub rule_id: &'static str,
     /// Rule name (`no-nondeterminism` …).
     pub rule_name: &'static str,
@@ -279,6 +279,9 @@ pub fn lint_file(crate_name: &str, file: &SourceFile) -> Vec<(&'static Rule, Hit
     }
     for h in rules::check_no_panic_paths(file) {
         hits.push((&rules::NO_PANIC_PATHS, h));
+    }
+    for h in rules::check_atomic_persistence(file) {
+        hits.push((&rules::ATOMIC_PERSISTENCE, h));
     }
     if RESULT_PRODUCING.contains(&crate_name) {
         for h in rules::check_ordered_iteration(file) {

@@ -1,4 +1,4 @@
-//! The rule catalogue (R1–R5) and their token-level implementations.
+//! The rule catalogue (R1–R6) and their token-level implementations.
 //!
 //! Every rule reports *candidate* violations as `(line, column, message)`
 //! triples over a scanned [`SourceFile`]; suppression comments and the
@@ -57,13 +57,23 @@ pub const PROB_HYGIENE: Rule = Rule {
               casts of probabilities",
 };
 
+/// R6 — atomic persistence.
+pub const ATOMIC_PERSISTENCE: Rule = Rule {
+    id: "R6",
+    name: "atomic-persistence",
+    summary: "no raw `fs::write`/`File::create` in library code; durable state must go \
+              through ripq-persist's temp-file + rename path so a crash never leaves a \
+              torn file behind",
+};
+
 /// All rules, in id order.
-pub const ALL_RULES: [&Rule; 5] = [
+pub const ALL_RULES: [&Rule; 6] = [
     &NO_NONDETERMINISM,
     &ORDERED_ITERATION,
     &NO_PANIC_PATHS,
     &CRATE_HYGIENE,
     &PROB_HYGIENE,
+    &ATOMIC_PERSISTENCE,
 ];
 
 /// A candidate violation inside one file (1-based line, 1-based column).
@@ -535,6 +545,46 @@ pub fn check_prob_hygiene(file: &SourceFile) -> Vec<Hit> {
     hits
 }
 
+// ---------------------------------------------------------------------------
+// R6 — atomic-persistence
+// ---------------------------------------------------------------------------
+
+const R6_TOKENS: [(&str, &str); 2] = [
+    (
+        "fs::write",
+        "a single-call overwrite is torn by a crash mid-write; stage the bytes to a \
+         sibling temp file and rename, i.e. `ripq_persist::write_atomic`",
+    ),
+    (
+        "File::create",
+        "truncates the destination before the new bytes land, so a crash loses both \
+         the old and the new state; stage to a temp file and rename, i.e. \
+         `ripq_persist::write_atomic`",
+    ),
+];
+
+/// R6: flags non-atomic file writes (`fs::write`, `File::create`) in
+/// non-test code. Checkpoint/snapshot state must survive a crash at any
+/// byte, which a plain overwrite cannot guarantee.
+pub fn check_atomic_persistence(file: &SourceFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (token, advice) in R6_TOKENS {
+            for pos in token_positions(&line.code, token) {
+                hits.push(Hit {
+                    line: idx + 1,
+                    col: pos + 1,
+                    message: format!("`{token}` in library code — {advice}"),
+                });
+            }
+        }
+    }
+    hits
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,6 +646,22 @@ mod tests {
             check_crate_hygiene("[package]\nname = \"x\"", Some(""), true).len(),
             2
         );
+    }
+
+    #[test]
+    fn r6_flags_raw_writes_not_reads_or_tests() {
+        let f = parse(
+            "let _ = std::fs::write(&path, &bytes);\n\
+             let f = std::fs::File::create(&path);\n\
+             let text = std::fs::read_to_string(&path);\n",
+        );
+        assert_eq!(check_atomic_persistence(&f).len(), 2);
+        // Identifier boundaries: `my_fs::write`-style lookalikes don't match.
+        let f = parse("other_fs::write(&path, b\"x\");\nMyFile::create(&path);\n");
+        assert!(check_atomic_persistence(&f).is_empty());
+        // Test code is exempt — fixtures and corruption-planting are fine.
+        let f = parse("#[cfg(test)]\nmod t { fn f() { std::fs::write(&p, b\"x\").unwrap(); } }\n");
+        assert!(check_atomic_persistence(&f).is_empty());
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Fire fixture: a checkpoint writer that persists recovery state with
+//! raw, non-atomic file writes. A crash mid-write leaves a torn
+//! snapshot that a recovering process must then quarantine — the whole
+//! point of the persistence layer is to stage to a temp file and
+//! rename, so both raw forms must trip R6. Expected: R6 ×2, nothing
+//! else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Overwrites the snapshot in place: a crash mid-call tears the file.
+pub fn save_snapshot(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+/// Truncates the destination before writing: a crash after the create
+/// loses the previous snapshot AND the new one.
+pub fn save_snapshot_streamed(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code plants fixtures and corruption with raw writes freely.
+    #[test]
+    fn raw_writes_in_tests_are_exempt() {
+        let path = std::env::temp_dir().join("fixture-ckpt-probe");
+        std::fs::write(&path, b"fixture").unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

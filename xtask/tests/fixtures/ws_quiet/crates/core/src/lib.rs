@@ -1,7 +1,7 @@
 //! Quiet fixture: no rule may produce an active diagnostic here, even
 //! though the file exercises RNG, timing, hash containers, fallible
-//! accessors and probability comparisons. Expected: 2 suppressed
-//! diagnostics (one R1, one R3), zero active.
+//! accessors, probability comparisons and file writes. Expected: 3
+//! suppressed diagnostics (one R1, one R3, one R6), zero active.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,6 +47,13 @@ pub fn head(v: &[u32]) -> u32 {
 /// Epsilon comparison keeps R5 quiet.
 pub fn is_certain(prob: f64) -> bool {
     (prob - 1.0).abs() < 1e-9
+}
+
+/// A suppressed raw write with a written reason: the payload here is a
+/// throwaway marker, not recovery-critical state.
+pub fn touch_marker(path: &std::path::Path) -> std::io::Result<()> {
+    // ripq-lint: allow(atomic-persistence) -- fixture: content-free marker file, no state to tear
+    std::fs::write(path, b"")
 }
 
 #[cfg(test)]

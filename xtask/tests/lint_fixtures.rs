@@ -25,13 +25,16 @@ fn every_rule_fires_on_the_fire_workspace() {
     // fault injector. R2: for-loop over a HashMap field + .keys().
     // R3: reasonless-suppressed unwrap + expect + panic!.
     // R4: virtual root manifest (2 problems) + core crate manifest (2);
-    // the obs and sim fixture crates carry their hygiene attrs so they
-    // add none. R5: exact == against a literal + lossy `as f32` cast.
+    // the obs, sim and ckpt fixture crates carry their hygiene attrs so
+    // they add none. R5: exact == against a literal + lossy `as f32`
+    // cast. R6: raw `fs::write` + `File::create` in the ckpt-style
+    // snapshot writer.
     assert_eq!(by_rule.get("R1"), Some(&4), "{by_rule:?}");
     assert_eq!(by_rule.get("R2"), Some(&2), "{by_rule:?}");
     assert_eq!(by_rule.get("R3"), Some(&3), "{by_rule:?}");
     assert_eq!(by_rule.get("R4"), Some(&4), "{by_rule:?}");
     assert_eq!(by_rule.get("R5"), Some(&2), "{by_rule:?}");
+    assert_eq!(by_rule.get("R6"), Some(&2), "{by_rule:?}");
     // The raw wall-clock read inside recorder code is caught where it
     // happens: metrics snapshots are deterministic artifacts, so obs-layer
     // code gets no clock-access pass.
@@ -48,6 +51,15 @@ fn every_rule_fires_on_the_fire_workspace() {
             .active()
             .any(|d| d.rule_id == "R1" && d.file.contains("crates/sim/")),
         "an ambient-RNG draw in a fault-injection site must fire R1"
+    );
+    // A checkpoint writer that overwrites its snapshot in place (raw
+    // `std::fs::write`) tears on crash — the new atomic-persistence rule
+    // must catch it where it happens.
+    assert!(
+        report
+            .active()
+            .any(|d| d.rule_id == "R6" && d.file.contains("crates/ckpt/")),
+        "a non-atomic snapshot write in checkpoint-style code must fire R6"
     );
     // A suppression without ` -- reason` does not suppress, and the
     // diagnostic explains why.
@@ -73,8 +85,9 @@ fn quiet_workspace_passes_with_reasoned_suppressions() {
         active.is_empty(),
         "unexpected active diagnostics:\n{active:#?}"
     );
-    // The two reasoned suppressions (R1 wall-clock, R3 expect) are
-    // recorded — not dropped — and carry their reasons through.
+    // The three reasoned suppressions (R1 wall-clock, R3 expect, R6 raw
+    // marker write) are recorded — not dropped — and carry their reasons
+    // through.
     let reasons: Vec<&String> = report
         .diags
         .iter()
@@ -83,7 +96,7 @@ fn quiet_workspace_passes_with_reasoned_suppressions() {
             _ => None,
         })
         .collect();
-    assert_eq!(reasons.len(), 2, "{reasons:?}");
+    assert_eq!(reasons.len(), 3, "{reasons:?}");
     assert!(reasons.iter().all(|r| r.contains("fixture")));
 }
 
