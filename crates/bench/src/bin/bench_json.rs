@@ -1,0 +1,38 @@
+//! `bench_json` — emits the machine-readable `BENCH_N.json` perf
+//! snapshot comparing the `dijkstra` and `alt` distance backends.
+//!
+//! ```text
+//! bench_json [--out <path>]     write the document (default: stdout)
+//! ```
+//!
+//! Scale comes from `RIPQ_SCALE=quick|paper` (default quick), as for
+//! every other bench entry point. Normally invoked through
+//! `cargo xtask bench-json`, which writes `BENCH_6.json` at the
+//! workspace root.
+
+use ripq_bench::perf_json::render_bench_json;
+use ripq_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--out" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: bench_json [--out <path>]");
+            std::process::exit(2);
+        }
+    };
+    let doc = render_bench_json(Scale::from_env());
+    match out {
+        None => print!("{doc}"),
+        Some(path) => {
+            if let Err(e) = ripq_persist::write_atomic(std::path::Path::new(&path), doc.as_bytes())
+            {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+}

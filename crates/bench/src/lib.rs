@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod perf_json;
 
 use ripq_sim::{AccuracyReport, Experiment, ExperimentParams};
 use serde::{Deserialize, Serialize};

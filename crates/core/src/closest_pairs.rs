@@ -10,10 +10,10 @@
 //! radius — the "are these two people together?" primitive that contact
 //! tracing and social applications need.
 
-use ripq_graph::{AnchorId, AnchorObjectIndex, AnchorSet, GraphPos, WalkingGraph};
+use ripq_graph::{AnchorId, AnchorObjectIndex, AnchorSet, DistanceOracle, GraphPos, WalkingGraph};
 use ripq_rfid::ObjectId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// One result pair.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,12 +50,59 @@ pub fn evaluate_closest_pairs(
     index: &AnchorObjectIndex<ObjectId>,
     query: &ClosestPairsQuery,
 ) -> Vec<ObjectPair> {
+    let Some((objects, support, pos_of)) = resolve_support(index, anchors, query) else {
+        return Vec::new();
+    };
+    // Network distances between support anchors: Dijkstra from each.
+    let mut dist: HashMap<(AnchorId, AnchorId), f64> = HashMap::new();
+    for &a in &support {
+        let sp = graph.shortest_paths_from(pos_of[&a]);
+        for &b in &support {
+            dist.insert((a, b), sp.distance_to(graph, pos_of[&b]));
+        }
+    }
+    rank_pairs(&objects, index, &dist, query)
+}
+
+/// [`evaluate_closest_pairs`] through the landmark distance oracle: the
+/// support-anchor distance matrix comes from one truncated ascending scan
+/// per source anchor ([`DistanceOracle::distances_to_anchors`]) instead of
+/// a full Dijkstra tree per source. Distances are bit-identical, so the
+/// ranked pairs are too.
+pub fn evaluate_closest_pairs_with_oracle(
+    graph: &WalkingGraph,
+    anchors: &AnchorSet,
+    index: &AnchorObjectIndex<ObjectId>,
+    query: &ClosestPairsQuery,
+    oracle: &DistanceOracle,
+) -> Vec<ObjectPair> {
+    let Some((objects, support, pos_of)) = resolve_support(index, anchors, query) else {
+        return Vec::new();
+    };
+    let needed: BTreeSet<AnchorId> = support.iter().copied().collect();
+    let mut dist: HashMap<(AnchorId, AnchorId), f64> = HashMap::new();
+    for &a in &support {
+        let row = oracle.distances_to_anchors(graph, anchors, pos_of[&a], &needed);
+        for &b in &support {
+            dist.insert((a, b), row[&b]);
+        }
+    }
+    rank_pairs(&objects, index, &dist, query)
+}
+
+/// The sorted object list, the distinct anchors that carry probability,
+/// and their graph positions. `None` when the query is degenerate.
+#[allow(clippy::type_complexity)]
+fn resolve_support(
+    index: &AnchorObjectIndex<ObjectId>,
+    anchors: &AnchorSet,
+    query: &ClosestPairsQuery,
+) -> Option<(Vec<ObjectId>, Vec<AnchorId>, HashMap<AnchorId, GraphPos>)> {
     let mut objects: Vec<ObjectId> = index.objects().copied().collect();
     objects.sort_unstable();
     if objects.len() < 2 || query.m == 0 {
-        return Vec::new();
+        return None;
     }
-
     // Distinct anchors used by any distribution (objects without one
     // simply contribute no anchors).
     let mut support: Vec<AnchorId> = objects
@@ -64,20 +111,21 @@ pub fn evaluate_closest_pairs(
         .collect();
     support.sort_unstable();
     support.dedup();
-
-    // Network distances between support anchors: Dijkstra from each.
     let pos_of: HashMap<AnchorId, GraphPos> = support
         .iter()
         .map(|&a| (a, anchors.anchor(a).pos))
         .collect();
-    let mut dist: HashMap<(AnchorId, AnchorId), f64> = HashMap::new();
-    for &a in &support {
-        let sp = graph.shortest_paths_from(pos_of[&a]);
-        for &b in &support {
-            dist.insert((a, b), sp.distance_to(graph, pos_of[&b]));
-        }
-    }
+    Some((objects, support, pos_of))
+}
 
+/// Accumulates expected distance / contact probability per pair over the
+/// precomputed support-anchor distance matrix, ranks, and truncates.
+fn rank_pairs(
+    objects: &[ObjectId],
+    index: &AnchorObjectIndex<ObjectId>,
+    dist: &HashMap<(AnchorId, AnchorId), f64>,
+    query: &ClosestPairsQuery,
+) -> Vec<ObjectPair> {
     let mut pairs = Vec::with_capacity(objects.len() * (objects.len() - 1) / 2);
     for (i, &a) in objects.iter().enumerate() {
         let Some(da) = index.distribution(&a) else {
@@ -228,6 +276,44 @@ mod tests {
         );
         // Contact (within 4 m) happens in the near branch only: ≈ 0.5.
         assert!((pairs[0].within_radius - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn oracle_backend_ranks_pairs_bit_for_bit() {
+        let (plan, graph, anchors) = setup();
+        let mut index = AnchorObjectIndex::new();
+        let base = plan.hallways()[0].footprint().center();
+        let a_near = anchors.nearest(graph.project(base + Point2::new(2.0, 0.0)));
+        let a_far = anchors.nearest(graph.project(plan.hallways()[2].footprint().center()));
+        index.set_object(o(0), vec![(a_near, 0.4), (a_far, 0.6)]);
+        for i in 1..5 {
+            place(
+                &graph,
+                &anchors,
+                &mut index,
+                o(i),
+                plan.rooms()[i as usize * 5].center(),
+            );
+        }
+        let oracle = ripq_graph::DistanceOracle::build(&graph, ripq_graph::DEFAULT_LANDMARKS);
+        let q = ClosestPairsQuery {
+            m: 10,
+            contact_radius: 8.0,
+        };
+        let eager = evaluate_closest_pairs(&graph, &anchors, &index, &q);
+        let lazy = evaluate_closest_pairs_with_oracle(&graph, &anchors, &index, &q, &oracle);
+        assert_eq!(eager.len(), lazy.len());
+        for (x, y) in eager.iter().zip(&lazy) {
+            assert_eq!((x.a, x.b), (y.a, y.b));
+            assert_eq!(
+                x.expected_distance.to_bits(),
+                y.expected_distance.to_bits(),
+                "pair ({}, {})",
+                x.a,
+                x.b
+            );
+            assert_eq!(x.within_radius.to_bits(), y.within_radius.to_bits());
+        }
     }
 
     #[test]

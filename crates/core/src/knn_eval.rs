@@ -15,7 +15,7 @@
 //! the same Σp ≥ k criterion, so it returns the identical result set.
 
 use crate::{KnnQuery, ResultSet};
-use ripq_graph::{AnchorObjectIndex, AnchorSet, WalkingGraph};
+use ripq_graph::{AnchorObjectIndex, AnchorSet, DistanceOracle, WalkingGraph};
 use ripq_rfid::ObjectId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -89,6 +89,35 @@ pub fn evaluate_knn_with_paths(
     let mut result_set = ResultSet::new();
     let target = query.k as f64;
     while let Some(Entry { anchor, .. }) = heap.pop() {
+        for &(o, p) in index.at_anchor(anchor) {
+            result_set.add(o, p);
+        }
+        if result_set.total_probability() >= target {
+            break;
+        }
+    }
+    result_set
+}
+
+/// [`evaluate_knn`] through the landmark distance oracle's lazy ascending
+/// anchor scan ([`DistanceOracle::scan`]).
+///
+/// The scan emits anchors in exactly the `(distance, anchor id)` order the
+/// eager heap above pops them, with bit-identical distance values — so the
+/// result set is byte-for-byte the same — but it only settles the graph
+/// region the Σp ≥ k stop actually required, instead of paying a full
+/// Dijkstra pass plus one heap entry per anchor up front.
+pub fn evaluate_knn_with_oracle(
+    graph: &WalkingGraph,
+    anchors: &AnchorSet,
+    index: &AnchorObjectIndex<ObjectId>,
+    query: &KnnQuery,
+    oracle: &DistanceOracle,
+) -> ResultSet {
+    let qpos = graph.project(query.point);
+    let mut result_set = ResultSet::new();
+    let target = query.k as f64;
+    for (anchor, _) in oracle.scan(graph, anchors, qpos) {
         for &(o, p) in index.at_anchor(anchor) {
             result_set.add(o, p);
         }
@@ -243,6 +272,38 @@ mod tests {
         let q = KnnQuery::new(QueryId::new(0), plan.rooms()[0].center(), 3).unwrap();
         let rs = evaluate_knn(&graph, &anchors, &index, &q);
         assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn oracle_backend_matches_dijkstra_bit_for_bit() {
+        let (plan, graph, anchors) = setup();
+        let mut index = AnchorObjectIndex::new();
+        for i in 0..8 {
+            place(
+                &graph,
+                &anchors,
+                &mut index,
+                o(i),
+                plan.rooms()[i as usize * 3 + 1].center(),
+            );
+        }
+        let oracle = ripq_graph::DistanceOracle::build(&graph, ripq_graph::DEFAULT_LANDMARKS);
+        for (qp, k) in [
+            (plan.hallways()[0].footprint().center(), 1),
+            (plan.hallways()[1].footprint().center(), 3),
+            (plan.rooms()[7].center(), 5),
+        ] {
+            let q = KnnQuery::new(QueryId::new(0), qp, k).unwrap();
+            let eager = evaluate_knn(&graph, &anchors, &index, &q);
+            let lazy = evaluate_knn_with_oracle(&graph, &anchors, &index, &q, &oracle);
+            let bits = |rs: &ResultSet| -> Vec<(ObjectId, u64)> {
+                rs.iter().map(|(o, p)| (o, p.to_bits())).collect()
+            };
+            assert_eq!(bits(&eager), bits(&lazy), "k={k}");
+        }
+        let stats = oracle.stats();
+        assert_eq!(stats.scan_queries, 3);
+        assert!(stats.scan_settled > 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::KnnQuery;
 use ripq_geom::Rect;
-use ripq_graph::{ShortestPaths, WalkingGraph};
+use ripq_graph::{DistanceOracle, ShortestPaths, WalkingGraph};
 use ripq_rfid::{DataCollector, ObjectId, Reader};
 
 /// Radius of an object's uncertain region: how far it may have walked
@@ -89,6 +89,42 @@ pub fn prune_knn_candidates_with_paths(
     max_speed: f64,
     sp: &ShortestPaths,
 ) -> Vec<ObjectId> {
+    prune_knn_with_distance(collector, readers, query, now, max_speed, |reader| {
+        sp.distance_to(graph, reader.graph_pos())
+    })
+}
+
+/// [`prune_knn_candidates`] through the landmark distance oracle: each
+/// reader's network distance to the query point comes from a memoized,
+/// goal-directed [`DistanceOracle::distance`] query instead of a full
+/// Dijkstra tree. ALT point-to-point answers are bit-identical to
+/// Dijkstra's, so the `sᵢ / lᵢ / f` arithmetic — and the pruned set —
+/// match the [`prune_knn_candidates_with_paths`] path exactly.
+pub fn prune_knn_candidates_with_oracle(
+    graph: &WalkingGraph,
+    collector: &DataCollector,
+    readers: &[Reader],
+    query: &KnnQuery,
+    now: u64,
+    max_speed: f64,
+    oracle: &DistanceOracle,
+) -> Vec<ObjectId> {
+    let qpos = graph.project(query.point);
+    prune_knn_with_distance(collector, readers, query, now, max_speed, |reader| {
+        oracle.distance(graph, qpos, reader.graph_pos())
+    })
+}
+
+/// Shared body of the kNN pruning rule, generic over how the network
+/// distance from the query point to a reader is produced.
+fn prune_knn_with_distance(
+    collector: &DataCollector,
+    readers: &[Reader],
+    query: &KnnQuery,
+    now: u64,
+    max_speed: f64,
+    distance_to_reader: impl Fn(&Reader) -> f64,
+) -> Vec<ObjectId> {
     let mut bounds: Vec<(ObjectId, f64, f64)> = Vec::new();
     for o in collector.objects() {
         let Some((rid, t_last)) = collector.last_detection(o) else {
@@ -96,7 +132,7 @@ pub fn prune_knn_candidates_with_paths(
         };
         let reader = &readers[rid.index()];
         let r = uncertain_region_radius(reader, t_last, now, max_speed);
-        let d = sp.distance_to(graph, reader.graph_pos());
+        let d = distance_to_reader(reader);
         let s_i = (d - r).max(0.0);
         let l_i = d + r;
         bounds.push((o, s_i, l_i));
@@ -213,6 +249,31 @@ mod tests {
         let q = KnnQuery::new(QueryId::new(0), readers[0].position(), 5).unwrap();
         let got = prune_knn_candidates(&graph, &c, &readers, &q, 0, 1.5);
         assert_eq!(got.len(), 2, "fewer objects than k: keep everything");
+    }
+
+    #[test]
+    fn knn_pruning_via_oracle_matches_dijkstra_exactly() {
+        let (graph, readers, mut c) = setup();
+        c.ingest_second(
+            10,
+            &[
+                (o(0), ReaderId::new(0)),
+                (o(1), ReaderId::new(5)),
+                (o(2), ReaderId::new(11)),
+                (o(3), ReaderId::new(18)),
+            ],
+        );
+        for s in 11..=25 {
+            c.ingest_second(s, &[]);
+        }
+        let oracle = ripq_graph::DistanceOracle::build(&graph, ripq_graph::DEFAULT_LANDMARKS);
+        for (ri, k, now) in [(0usize, 1usize, 10u64), (9, 2, 18), (18, 1, 25)] {
+            let q = KnnQuery::new(QueryId::new(0), readers[ri].position(), k).unwrap();
+            let base = prune_knn_candidates(&graph, &c, &readers, &q, now, 1.5);
+            let alt = prune_knn_candidates_with_oracle(&graph, &c, &readers, &q, now, 1.5, &oracle);
+            assert_eq!(base, alt, "reader {ri}, k={k}, now={now}");
+        }
+        assert!(oracle.stats().p2p_queries >= 12, "one p2p query per reader");
     }
 
     #[test]

@@ -3,17 +3,19 @@
 use crate::checkpoint::{self, RecoveryOutcome};
 use crate::clock::{Clock, TimingMode};
 use crate::{
-    evaluate_closest_pairs, evaluate_knn_with_paths, evaluate_ptknn, evaluate_range,
-    prune_knn_candidates_with_paths, prune_range_candidates, ClosestPairsQuery, CoreError,
-    KnnQuery, ObjectPair, PtknnQuery, QueryId, RangeQuery, ResultSet, RipqError,
+    evaluate_closest_pairs, evaluate_closest_pairs_with_oracle, evaluate_knn_with_oracle,
+    evaluate_knn_with_paths, evaluate_ptknn, evaluate_ptknn_with_oracle, evaluate_range,
+    prune_knn_candidates_with_oracle, prune_knn_candidates_with_paths, prune_range_candidates,
+    ClosestPairsQuery, CoreError, KnnQuery, ObjectPair, PtknnQuery, QueryId, RangeQuery, ResultSet,
+    RipqError,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ripq_floorplan::FloorPlan;
 use ripq_geom::{Point2, Rect};
 use ripq_graph::{
-    build_walking_graph, AnchorObjectIndex, AnchorSet, ShortestPathCache, ShortestPaths,
-    WalkingGraph,
+    build_walking_graph, AnchorObjectIndex, AnchorSet, DistanceBackend, DistanceOracle,
+    OracleError, ShortestPathCache, ShortestPaths, WalkingGraph, DEFAULT_LANDMARKS,
 };
 use ripq_obs::{MetricsSnapshot, Recorder};
 use ripq_persist::{
@@ -81,6 +83,15 @@ pub struct SystemConfig {
     /// automatic checkpointing; [`IndoorQuerySystem::checkpoint_now`]
     /// still works.
     pub checkpoint_every: u64,
+    /// How network distances are produced during candidate pruning and
+    /// query evaluation. [`DistanceBackend::Dijkstra`] (default) runs the
+    /// original memoized full-tree searches;  [`DistanceBackend::Alt`]
+    /// routes them through the landmark [`DistanceOracle`] — goal-directed
+    /// ALT point-to-point queries and truncated ascending anchor scans —
+    /// with bit-identical answers (the differential suite in
+    /// `tests/oracle.rs` pins this). The backend never changes results,
+    /// only how much graph is searched to produce them.
+    pub distance_backend: DistanceBackend,
     /// Per-evaluation deadline budget in deterministic logical cost units
     /// (`coast seconds × particle count` per object). When the remaining
     /// budget cannot afford an object's full particle filter, evaluation
@@ -105,6 +116,7 @@ impl Default for SystemConfig {
             reorder_window: 0,
             timing: TimingMode::Wall,
             observability: false,
+            distance_backend: DistanceBackend::Dijkstra,
             checkpoint_every: 0,
             query_budget: None,
         }
@@ -184,6 +196,15 @@ pub struct IndoorQuerySystem {
     /// Memoized Dijkstra trees keyed by source position, shared by query
     /// registration and per-pass candidate pruning.
     sp_cache: ShortestPathCache,
+    /// Landmark distance oracle, built lazily on the first evaluation
+    /// under [`DistanceBackend::Alt`] (or restored from `oracle.ckpt` by
+    /// recovery) and shared read-only across the pass.
+    oracle: Option<Arc<DistanceOracle>>,
+    /// The *incrementally maintained* `APtoObjHT`: each evaluation pass
+    /// retracts objects that left the answered candidate set and applies
+    /// fresh distributions as deltas, instead of rebuilding from scratch.
+    /// Reports clone it, so its content always equals a rebuild.
+    live_index: AnchorObjectIndex<ObjectId>,
     // Query registries are ordered maps: evaluation visits queries in
     // registration (QueryId) order, so shared state touched per query —
     // most importantly the master RNG consumed by PTkNN sampling — sees
@@ -235,6 +256,8 @@ impl IndoorQuerySystem {
             recorder,
             rng: StdRng::seed_from_u64(seed),
             sp_cache: ShortestPathCache::new(),
+            oracle: None,
+            live_index: AnchorObjectIndex::new(),
             range_queries: BTreeMap::new(),
             knn_queries: BTreeMap::new(),
             knn_paths: BTreeMap::new(),
@@ -277,6 +300,26 @@ impl IndoorQuerySystem {
     /// The configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// The landmark distance oracle, if one has been built or restored —
+    /// `None` until the first evaluation under [`DistanceBackend::Alt`].
+    pub fn distance_oracle(&self) -> Option<&DistanceOracle> {
+        self.oracle.as_deref()
+    }
+
+    /// The oracle for this graph, building (and memoizing) it on first
+    /// use. Precomputation is [`DEFAULT_LANDMARKS`] Dijkstra passes — paid
+    /// once per system (or restored from a checkpoint), then amortized by
+    /// every truncated search.
+    fn ensure_oracle(&mut self) -> Arc<DistanceOracle> {
+        if let Some(oracle) = &self.oracle {
+            return Arc::clone(oracle);
+        }
+        let oracle = Arc::new(DistanceOracle::build(&self.graph, DEFAULT_LANDMARKS));
+        self.recorder.add("oracle.builds", 1);
+        self.oracle = Some(Arc::clone(&oracle));
+        oracle
     }
 
     /// Ingests pre-aggregated detections for one second.
@@ -333,14 +376,18 @@ impl IndoorQuerySystem {
         Ok(id)
     }
 
-    /// Registers a kNN query. The query point's Dijkstra pass is computed
-    /// now and reused on every [`IndoorQuerySystem::evaluate`].
+    /// Registers a kNN query. Under the Dijkstra backend the query
+    /// point's Dijkstra pass is computed now and reused on every
+    /// [`IndoorQuerySystem::evaluate`]; under ALT the oracle's lazy scan
+    /// serves the point directly and no tree is built.
     pub fn register_knn(&mut self, point: Point2, k: usize) -> Result<QueryId, CoreError> {
         let id = QueryId::new(self.next_query);
         let q = KnnQuery::new(id, point, k)?;
         self.next_query += 1;
-        let sp = self.sp_cache.paths(&self.graph, self.graph.project(point));
-        self.knn_paths.insert(id, sp);
+        if self.config.distance_backend == DistanceBackend::Dijkstra {
+            let sp = self.sp_cache.paths(&self.graph, self.graph.project(point));
+            self.knn_paths.insert(id, sp);
+        }
         self.knn_queries.insert(id, q);
         Ok(id)
     }
@@ -401,6 +448,10 @@ impl IndoorQuerySystem {
         let clock = Clock::new(self.config.timing);
         let t_start = clock.now();
         let objects_known = self.collector.objects().count();
+        // Under the ALT backend every network-distance consumer below goes
+        // through the oracle; answers are bit-identical either way.
+        let oracle: Option<Arc<DistanceOracle>> =
+            (self.config.distance_backend == DistanceBackend::Alt).then(|| self.ensure_oracle());
 
         // 1. Query-aware optimization (§4.3). Per-rule counters record
         // how many candidates each pruning rule admitted (pre-dedup).
@@ -418,22 +469,34 @@ impl IndoorQuerySystem {
                 .add("optimizer.candidates_rule_range", c.len() as u64);
             let mut from_knn = 0u64;
             for (id, q) in &self.knn_queries {
-                let picked = prune_knn_candidates_with_paths(
-                    &self.graph,
-                    &self.collector,
-                    &self.readers,
-                    q,
-                    now,
-                    self.config.max_speed,
-                    &self.knn_paths[id],
-                );
+                let picked = match &oracle {
+                    Some(or) => prune_knn_candidates_with_oracle(
+                        &self.graph,
+                        &self.collector,
+                        &self.readers,
+                        q,
+                        now,
+                        self.config.max_speed,
+                        or,
+                    ),
+                    None => prune_knn_candidates_with_paths(
+                        &self.graph,
+                        &self.collector,
+                        &self.readers,
+                        q,
+                        now,
+                        self.config.max_speed,
+                        &self.knn_paths[id],
+                    ),
+                };
                 from_knn += picked.len() as u64;
                 c.extend(picked);
             }
             self.recorder.add("optimizer.candidates_rule_knn", from_knn);
             // PTkNN pruning reuses the kNN bound; closest-pairs queries
             // are global and keep every object. The Dijkstra tree of each
-            // fixed query point is memoized across passes.
+            // fixed query point is memoized across passes (the oracle
+            // memoizes per (source, reader) pair instead).
             let mut from_ptknn = 0u64;
             for q in self.ptknn_queries.values() {
                 let as_knn = KnnQuery {
@@ -441,18 +504,31 @@ impl IndoorQuerySystem {
                     point: q.point,
                     k: q.k,
                 };
-                let sp = self
-                    .sp_cache
-                    .paths(&self.graph, self.graph.project(q.point));
-                let picked = prune_knn_candidates_with_paths(
-                    &self.graph,
-                    &self.collector,
-                    &self.readers,
-                    &as_knn,
-                    now,
-                    self.config.max_speed,
-                    &sp,
-                );
+                let picked = match &oracle {
+                    Some(or) => prune_knn_candidates_with_oracle(
+                        &self.graph,
+                        &self.collector,
+                        &self.readers,
+                        &as_knn,
+                        now,
+                        self.config.max_speed,
+                        or,
+                    ),
+                    None => {
+                        let sp = self
+                            .sp_cache
+                            .paths(&self.graph, self.graph.project(q.point));
+                        prune_knn_candidates_with_paths(
+                            &self.graph,
+                            &self.collector,
+                            &self.readers,
+                            &as_knn,
+                            now,
+                            self.config.max_speed,
+                            &sp,
+                        )
+                    }
+                };
                 from_ptknn += picked.len() as u64;
                 c.extend(picked);
             }
@@ -507,7 +583,7 @@ impl IndoorQuerySystem {
             panic_attempts: self.injected_fault.map_or(1, |(_, a)| a),
             ..SupervisionOptions::default()
         };
-        let supervised = preprocessor.process_supervised(
+        let (object_degradation, delta) = preprocessor.process_supervised_into(
             pass_seed,
             &self.collector,
             &candidates,
@@ -515,9 +591,12 @@ impl IndoorQuerySystem {
             cache,
             self.config.parallelism,
             &supervision,
+            &mut self.live_index,
         );
-        let index = supervised.index;
-        let object_degradation = supervised.degradation;
+        self.recorder.add("index.delta_applied", delta.applied);
+        self.recorder.add("index.delta_retracted", delta.retracted);
+        self.recorder.add("index.delta_unchanged", delta.unchanged);
+        let index = self.live_index.clone();
         let preprocessing = clock.since(t_pre);
         self.recorder
             .record_span("evaluate/preprocess", preprocessing);
@@ -543,12 +622,15 @@ impl IndoorQuerySystem {
         }
         let mut knn_results = BTreeMap::new();
         for (id, q) in &self.knn_queries {
-            let sp = &self.knn_paths[id];
             let t_q = obs_on.then(|| clock.now());
-            knn_results.insert(
-                *id,
-                evaluate_knn_with_paths(&self.graph, &self.anchors, &index, q, sp),
-            );
+            let rs = match &oracle {
+                Some(or) => evaluate_knn_with_oracle(&self.graph, &self.anchors, &index, q, or),
+                None => {
+                    let sp = &self.knn_paths[id];
+                    evaluate_knn_with_paths(&self.graph, &self.anchors, &index, q, sp)
+                }
+            };
+            knn_results.insert(*id, rs);
             if let Some(t_q) = t_q {
                 self.recorder
                     .record_span("evaluate/queries/knn", clock.since(t_q));
@@ -557,9 +639,17 @@ impl IndoorQuerySystem {
         let mut ptknn_results = BTreeMap::new();
         for (id, q) in &self.ptknn_queries {
             let t_q = obs_on.then(|| clock.now());
-            ptknn_results.insert(
-                *id,
-                evaluate_ptknn(
+            let rs = match &oracle {
+                Some(or) => evaluate_ptknn_with_oracle(
+                    &mut self.rng,
+                    &self.graph,
+                    &self.anchors,
+                    &index,
+                    q,
+                    self.config.ptknn_rounds,
+                    or,
+                ),
+                None => evaluate_ptknn(
                     &mut self.rng,
                     &self.graph,
                     &self.anchors,
@@ -567,7 +657,8 @@ impl IndoorQuerySystem {
                     q,
                     self.config.ptknn_rounds,
                 ),
-            );
+            };
+            ptknn_results.insert(*id, rs);
             if let Some(t_q) = t_q {
                 self.recorder
                     .record_span("evaluate/queries/ptknn", clock.since(t_q));
@@ -576,10 +667,13 @@ impl IndoorQuerySystem {
         let mut closest_pairs_results = BTreeMap::new();
         for (id, q) in &self.closest_pairs_queries {
             let t_q = obs_on.then(|| clock.now());
-            closest_pairs_results.insert(
-                *id,
-                evaluate_closest_pairs(&self.graph, &self.anchors, &index, q),
-            );
+            let pairs = match &oracle {
+                Some(or) => {
+                    evaluate_closest_pairs_with_oracle(&self.graph, &self.anchors, &index, q, or)
+                }
+                None => evaluate_closest_pairs(&self.graph, &self.anchors, &index, q),
+            };
+            closest_pairs_results.insert(*id, pairs);
             if let Some(t_q) = t_q {
                 self.recorder
                     .record_span("evaluate/queries/closest_pairs", clock.since(t_q));
@@ -604,6 +698,23 @@ impl IndoorQuerySystem {
             self.recorder.set_gauge("spcache.misses", sp.misses);
             self.recorder
                 .set_gauge("spcache.entries", self.sp_cache.len() as u64);
+            if let Some(or) = &oracle {
+                let os = or.stats();
+                self.recorder
+                    .set_gauge("oracle.p2p_queries", os.p2p_queries);
+                self.recorder
+                    .set_gauge("oracle.p2p_memo_hits", os.p2p_memo_hits);
+                self.recorder
+                    .set_gauge("oracle.p2p_settled", os.p2p_settled);
+                self.recorder
+                    .set_gauge("oracle.scan_queries", os.scan_queries);
+                self.recorder
+                    .set_gauge("oracle.scan_settled", os.scan_settled);
+                self.recorder
+                    .set_gauge("oracle.scan_anchor_candidates", os.scan_anchor_candidates);
+                self.recorder
+                    .set_gauge("oracle.landmarks", or.landmarks().len() as u64);
+            }
         }
 
         let total = clock.since(t_start);
@@ -705,6 +816,18 @@ impl IndoorQuerySystem {
         let framed = seal_snapshot(&w.into_bytes());
         write_atomic(&checkpoint::snapshot_path(&dir), &framed)
             .map_err(|e| checkpoint::persist_io(&e))?;
+        // Under the ALT backend the landmark tables ride along, so the
+        // next life (or a CLI run pointed at the same directory) restores
+        // them instead of re-running the landmark Dijkstra passes. The
+        // tables are pure precomputation over the immutable graph —
+        // losing this file costs a rebuild, never correctness.
+        if self.config.distance_backend == DistanceBackend::Alt {
+            let oracle = self.ensure_oracle();
+            oracle
+                .save(&checkpoint::oracle_path(&dir))
+                .map_err(|e| checkpoint::persist_io(&e))?;
+            self.recorder.add("oracle.checkpoints_written", 1);
+        }
         self.recorder.add("recovery.checkpoints_written", 1);
         Ok(())
     }
@@ -729,6 +852,7 @@ impl IndoorQuerySystem {
     pub fn recover(&mut self, dir: impl Into<PathBuf>) -> Result<RecoveryOutcome, RipqError> {
         let dir = dir.into();
         let path = checkpoint::snapshot_path(&dir);
+        self.restore_oracle(&dir);
         self.checkpoint_dir = Some(dir);
         let payload = match load_snapshot(&path) {
             Ok(p) => p,
@@ -746,6 +870,29 @@ impl IndoorQuerySystem {
                 Ok(RecoveryOutcome::Resumed { replay_from })
             }
             Err(_damaged) => self.quarantine_snapshot(&path),
+        }
+    }
+
+    /// Best-effort restore of the landmark oracle from `oracle.ckpt`.
+    /// A missing file is normal (Dijkstra backend, or no checkpoint yet);
+    /// a damaged or graph-mismatched one is quarantined and the oracle is
+    /// rebuilt lazily — oracle trouble never fails recovery, because the
+    /// tables are rederivable precomputation, not state.
+    fn restore_oracle(&mut self, dir: &Path) {
+        if self.config.distance_backend != DistanceBackend::Alt {
+            return;
+        }
+        let path = checkpoint::oracle_path(dir);
+        match DistanceOracle::load(&path, &self.graph) {
+            Ok(oracle) => {
+                self.oracle = Some(Arc::new(oracle));
+                self.recorder.add("oracle.restored", 1);
+            }
+            Err(OracleError::Persist(PersistError::Missing)) => {}
+            Err(_damaged) => {
+                let _ = quarantine(&path);
+                self.recorder.add("oracle.quarantined", 1);
+            }
         }
     }
 

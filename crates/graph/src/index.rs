@@ -19,11 +19,41 @@ use std::collections::BTreeMap;
 /// Both views are ordered maps: every iteration — [`Self::objects`] in
 /// particular — visits keys in their natural order, so downstream
 /// consumers (PTkNN sampling, occupancy sums) behave identically across
-/// runs with no per-call-site sorting.
-#[derive(Debug, Clone)]
+/// runs with no per-call-site sorting. Per-anchor object lists are kept
+/// sorted by object key for the same reason, which also makes the index
+/// *order-free*: applying deltas ([`Self::apply_object`],
+/// [`Self::retain_objects`]) in any sequence converges to the same
+/// structure as a from-scratch rebuild — the invariant the incremental
+/// `APtoObjHT` maintenance relies on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnchorObjectIndex<K> {
     by_anchor: BTreeMap<AnchorId, Vec<(K, f64)>>,
     by_object: BTreeMap<K, Vec<(AnchorId, f64)>>,
+}
+
+/// What a single [`AnchorObjectIndex::apply_object`] delta did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// The object was not present before; its distribution was inserted.
+    Inserted,
+    /// The object was present with a different distribution; replaced.
+    Updated,
+    /// The stored distribution is bit-identical to the incoming one; no
+    /// structural work was done.
+    Unchanged,
+}
+
+/// Counters describing one incremental maintenance pass over the index
+/// (the `index.delta_*` observability family).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexDeltaStats {
+    /// Distributions inserted or replaced ([`DeltaOutcome::Inserted`] /
+    /// [`DeltaOutcome::Updated`]).
+    pub applied: u64,
+    /// Objects dropped because they left the maintained set.
+    pub retracted: u64,
+    /// Deltas skipped because the stored distribution was bit-identical.
+    pub unchanged: u64,
 }
 
 impl<K> Default for AnchorObjectIndex<K> {
@@ -50,11 +80,58 @@ impl<K: Copy + Ord> AnchorObjectIndex<K> {
         self.remove_object(&object);
         let dist: Vec<(AnchorId, f64)> = dist.into_iter().filter(|&(_, p)| p > 0.0).collect();
         for &(anchor, p) in &dist {
-            self.by_anchor.entry(anchor).or_default().push((object, p));
+            let list = self.by_anchor.entry(anchor).or_default();
+            // Sorted insertion by object key: the list order must be a
+            // function of the index *contents*, not of delta arrival
+            // order, so incremental maintenance equals a rebuild.
+            let at = list.partition_point(|&(k, _)| k < object);
+            list.insert(at, (object, p));
         }
         if !dist.is_empty() {
             self.by_object.insert(object, dist);
         }
+    }
+
+    /// Applies one incremental delta: replaces `object`'s distribution,
+    /// but skips all structural work when the stored distribution is
+    /// bit-identical to the incoming one (compared after the same
+    /// non-positive-probability filtering [`Self::set_object`] performs).
+    ///
+    /// Because per-anchor lists are sorted by key, any sequence of
+    /// [`Self::apply_object`] / [`Self::remove_object`] calls leaves the
+    /// index equal to a from-scratch rebuild of the same final state.
+    pub fn apply_object(&mut self, object: K, dist: Vec<(AnchorId, f64)>) -> DeltaOutcome {
+        let dist: Vec<(AnchorId, f64)> = dist.into_iter().filter(|&(_, p)| p > 0.0).collect();
+        match self.by_object.get(&object) {
+            Some(old) if old == &dist => DeltaOutcome::Unchanged,
+            Some(_) => {
+                self.set_object(object, dist);
+                DeltaOutcome::Updated
+            }
+            None => {
+                if dist.is_empty() {
+                    return DeltaOutcome::Unchanged;
+                }
+                self.set_object(object, dist);
+                DeltaOutcome::Inserted
+            }
+        }
+    }
+
+    /// Retracts every object whose key fails `keep`, returning how many
+    /// were removed. Iteration is in key order (BTreeMap), so the work —
+    /// and any observable side effect of it — is deterministic.
+    pub fn retain_objects(&mut self, mut keep: impl FnMut(&K) -> bool) -> u64 {
+        let stale: Vec<K> = self
+            .by_object
+            .keys()
+            .filter(|k| !keep(k))
+            .copied()
+            .collect();
+        for k in &stale {
+            self.remove_object(k);
+        }
+        stale.len() as u64
     }
 
     /// Removes an object's distribution entirely.
@@ -167,6 +244,74 @@ mod tests {
         idx.set_object(1, vec![]);
         assert_eq!(idx.object_count(), 0);
         assert_eq!(idx.total_probability(&1), 0.0);
+    }
+
+    #[test]
+    fn per_anchor_lists_sorted_regardless_of_insertion_order() {
+        let mut fwd: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        let mut rev: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        for k in [1u64, 2, 3] {
+            fwd.set_object(k, vec![(ap(0), 0.5)]);
+        }
+        for k in [3u64, 1, 2] {
+            rev.set_object(k, vec![(ap(0), 0.5)]);
+        }
+        assert_eq!(fwd.at_anchor(ap(0)), rev.at_anchor(ap(0)));
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn apply_object_reports_outcomes() {
+        let mut idx: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        assert_eq!(
+            idx.apply_object(1, vec![(ap(0), 0.5), (ap(1), 0.5)]),
+            DeltaOutcome::Inserted
+        );
+        assert_eq!(
+            idx.apply_object(1, vec![(ap(0), 0.5), (ap(1), 0.5)]),
+            DeltaOutcome::Unchanged
+        );
+        // The non-positive filter runs before the comparison, so a delta
+        // that only differs by dropped entries is still unchanged.
+        assert_eq!(
+            idx.apply_object(1, vec![(ap(0), 0.5), (ap(1), 0.5), (ap(2), 0.0)]),
+            DeltaOutcome::Unchanged
+        );
+        assert_eq!(
+            idx.apply_object(1, vec![(ap(0), 1.0)]),
+            DeltaOutcome::Updated
+        );
+        assert_eq!(idx.apply_object(2, vec![]), DeltaOutcome::Unchanged);
+        assert_eq!(idx.object_count(), 1);
+    }
+
+    #[test]
+    fn retain_objects_retracts_stale_keys() {
+        let mut idx: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        for k in 0u64..5 {
+            idx.set_object(k, vec![(ap(k as u32), 1.0)]);
+        }
+        let retracted = idx.retain_objects(|k| *k % 2 == 0);
+        assert_eq!(retracted, 2);
+        assert_eq!(idx.objects().copied().collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(idx.anchor_count(), 3);
+    }
+
+    #[test]
+    fn delta_sequence_equals_rebuild() {
+        let mut inc: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        inc.apply_object(5, vec![(ap(1), 0.3), (ap(2), 0.7)]);
+        inc.apply_object(3, vec![(ap(2), 1.0)]);
+        inc.apply_object(5, vec![(ap(2), 1.0)]);
+        inc.apply_object(4, vec![(ap(0), 0.9)]);
+        inc.remove_object(&3);
+        inc.apply_object(1, vec![(ap(2), 0.4)]);
+
+        let mut fresh: AnchorObjectIndex<u64> = AnchorObjectIndex::new();
+        fresh.set_object(1, vec![(ap(2), 0.4)]);
+        fresh.set_object(4, vec![(ap(0), 0.9)]);
+        fresh.set_object(5, vec![(ap(2), 1.0)]);
+        assert_eq!(inc, fresh);
     }
 
     #[test]

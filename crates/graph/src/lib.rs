@@ -48,6 +48,7 @@ mod graph;
 mod ids;
 mod index;
 mod node;
+mod oracle;
 mod path;
 mod shortest;
 
@@ -56,7 +57,11 @@ pub use builder::build_walking_graph;
 pub use edge::{Edge, EdgeKind, Polyline};
 pub use graph::{GraphPos, WalkingGraph};
 pub use ids::{AnchorId, EdgeId, NodeId};
-pub use index::AnchorObjectIndex;
+pub use index::{AnchorObjectIndex, DeltaOutcome, IndexDeltaStats};
 pub use node::{Node, NodeKind};
+pub use oracle::{
+    graph_fingerprint, AnchorScan, DistanceBackend, DistanceOracle, OracleError, OracleStats,
+    DEFAULT_LANDMARKS,
+};
 pub use path::Path;
 pub use shortest::{ShortestPathCache, ShortestPaths, SpCacheStats};

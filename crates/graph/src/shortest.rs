@@ -25,12 +25,16 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want the min distance.
+        // Reverse both fields: BinaryHeap is a max-heap, we want the
+        // smallest distance first and, on exact distance ties, the
+        // smallest node id. The node comparison must be reversed just
+        // like the distance — comparing `self` to `other` here would
+        // pop the *largest* id first on equal-distance frontiers.
         other
             .dist
             .partial_cmp(&self.dist)
             .unwrap_or(Ordering::Equal)
-            .then_with(|| self.node.raw().cmp(&other.node.raw()))
+            .then_with(|| other.node.raw().cmp(&self.node.raw()))
     }
 }
 
@@ -54,10 +58,35 @@ pub struct ShortestPaths {
 impl ShortestPaths {
     /// Runs Dijkstra from `from`.
     pub fn from_pos(graph: &WalkingGraph, from: GraphPos) -> Self {
+        Self::run(graph, from, None).0
+    }
+
+    /// Runs Dijkstra from `from` but stops as soon as both endpoints of
+    /// `target` are settled (label-setting makes a settled node's
+    /// distance and predecessor final, so [`Self::distance_to`] and
+    /// [`Self::path_to`] for positions **on `target`** are bit-identical
+    /// to the full-tree answers). Distances to other nodes may still be
+    /// tentative. Returns the tree together with the number of settled
+    /// nodes, the truncation's logical-cost measure.
+    pub fn from_pos_until_edge(
+        graph: &WalkingGraph,
+        from: GraphPos,
+        target: EdgeId,
+    ) -> (Self, u64) {
+        Self::run(graph, from, Some(target))
+    }
+
+    fn run(graph: &WalkingGraph, from: GraphPos, stop_edge: Option<EdgeId>) -> (Self, u64) {
         let n = graph.nodes().len();
         let mut node_dist = vec![f64::INFINITY; n];
         let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
         let mut heap = BinaryHeap::new();
+        let mut settled = 0u64;
+        let stop_nodes = stop_edge.map(|eid| {
+            let e = graph.edge(eid);
+            (e.a, e.b)
+        });
+        let mut stop_left = 2u8;
 
         let src_edge = graph.edge(from.edge);
         let len = src_edge.length();
@@ -76,6 +105,7 @@ impl ShortestPaths {
             if dist > node_dist[node.index()] {
                 continue; // stale entry
             }
+            settled += 1;
             for &eid in graph.edges_at(node) {
                 let e = graph.edge(eid);
                 let other = e.other_end(node).expect("incident edge");
@@ -89,13 +119,27 @@ impl ShortestPaths {
                     });
                 }
             }
+            if let Some((a, b)) = stop_nodes {
+                if node == a || node == b {
+                    // A node settles at most once (label-setting), so two
+                    // hits mean both target endpoints are final. A self-loop
+                    // target (a == b) is final after its single settle.
+                    stop_left = stop_left.saturating_sub(if a == b { 2 } else { 1 });
+                    if stop_left == 0 {
+                        break;
+                    }
+                }
+            }
         }
 
-        ShortestPaths {
-            source: from,
-            node_dist,
-            prev,
-        }
+        (
+            ShortestPaths {
+                source: from,
+                node_dist,
+                prev,
+            },
+            settled,
+        )
     }
 
     /// The source position this instance was computed from.
@@ -406,6 +450,75 @@ mod tests {
         // path_to to the source itself is empty but Some.
         let p = sp.path_to(&g, from).unwrap();
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn equal_distance_frontier_pops_smallest_node_first() {
+        // Regression pin for the HeapEntry tie-break: the distance field
+        // is compared reversed (min-heap on a max-heap), and the node id
+        // must be reversed the same way, or equal-distance frontiers pop
+        // largest-id-first and path reconstruction picks tie routes
+        // nondeterministically with respect to insertion order.
+        let mut heap = BinaryHeap::new();
+        for raw in [7u32, 3, 11, 5] {
+            heap.push(HeapEntry {
+                dist: 1.0,
+                node: NodeId::new(raw),
+            });
+        }
+        heap.push(HeapEntry {
+            dist: 0.5,
+            node: NodeId::new(9),
+        });
+        heap.push(HeapEntry {
+            dist: 2.0,
+            node: NodeId::new(0),
+        });
+        let order: Vec<u32> = std::iter::from_fn(|| heap.pop())
+            .map(|e| e.node.raw())
+            .collect();
+        assert_eq!(order, vec![9, 3, 5, 7, 11, 0]);
+    }
+
+    #[test]
+    fn heap_entry_ordering_is_antisymmetric() {
+        // `a.cmp(b)` and `b.cmp(a)` must be exact opposites even on
+        // distance ties — the asymmetric form violated this, which is
+        // undefined behaviourally for BinaryHeap ordering.
+        let a = HeapEntry {
+            dist: 1.0,
+            node: NodeId::new(2),
+        };
+        let b = HeapEntry {
+            dist: 1.0,
+            node: NodeId::new(7),
+        };
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        assert_eq!(
+            a.cmp(&b),
+            Ordering::Greater,
+            "smaller id sorts greater (pops first)"
+        );
+    }
+
+    #[test]
+    fn truncated_dijkstra_matches_full_tree_on_target_edge() {
+        let (plan, g) = office();
+        let from = g.project(plan.rooms()[1].center());
+        let full = ShortestPaths::from_pos(&g, from);
+        for target in [0usize, 8, 19, 27] {
+            let to = g.project(plan.rooms()[target].center());
+            let (trunc, settled) = ShortestPaths::from_pos_until_edge(&g, from, to.edge);
+            assert!(settled as usize <= g.nodes().len());
+            assert_eq!(
+                trunc.distance_to(&g, to).to_bits(),
+                full.distance_to(&g, to).to_bits(),
+                "truncated distance must be bit-identical"
+            );
+            let pf = full.path_to(&g, to).expect("reachable");
+            let pt = trunc.path_to(&g, to).expect("reachable");
+            assert_eq!(pf.legs(), pt.legs(), "truncated path must be identical");
+        }
     }
 
     #[test]

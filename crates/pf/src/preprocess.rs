@@ -27,11 +27,13 @@ use crate::{
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ripq_graph::{AnchorId, AnchorObjectIndex, AnchorSet, WalkingGraph};
+use ripq_graph::{
+    AnchorId, AnchorObjectIndex, AnchorSet, DeltaOutcome, IndexDeltaStats, WalkingGraph,
+};
 use ripq_obs::{Counter, Histogram, Recorder};
 use ripq_rfid::{ObjectId, Reader, ReaderId, ReadingStore};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -799,6 +801,45 @@ impl<'a> ParticlePreprocessor<'a> {
         parallelism: Option<usize>,
         options: &SupervisionOptions,
     ) -> SupervisedOutput {
+        let mut index = AnchorObjectIndex::new();
+        let (degradation, _) = self.process_supervised_into(
+            pass_seed,
+            collector,
+            candidates,
+            now,
+            cache,
+            parallelism,
+            options,
+            &mut index,
+        );
+        SupervisedOutput { index, degradation }
+    }
+
+    /// [`ParticlePreprocessor::process_supervised`] applied as an
+    /// *incremental* maintenance pass over a caller-owned `APtoObjHT`:
+    /// objects that left the answered set are retracted, answered objects
+    /// are applied as deltas ([`AnchorObjectIndex::apply_object`]), and a
+    /// bit-identical stored distribution costs no structural work at all.
+    /// Because per-anchor lists are kept sorted by object key, the index
+    /// after any delta sequence equals a from-scratch rebuild of the same
+    /// answer set — so this path returns exactly what
+    /// [`ParticlePreprocessor::process_supervised`] would have built.
+    ///
+    /// Returns the per-object degradation levels plus the
+    /// [`IndexDeltaStats`] of this pass (the `index.delta_*`
+    /// observability family).
+    #[allow(clippy::too_many_arguments)]
+    pub fn process_supervised_into<S: ReadingStore + Sync + ?Sized>(
+        &self,
+        pass_seed: u64,
+        collector: &S,
+        candidates: &[ObjectId],
+        now: u64,
+        cache: Option<&SharedParticleCache>,
+        parallelism: Option<usize>,
+        options: &SupervisionOptions,
+        index: &mut AnchorObjectIndex<ObjectId>,
+    ) -> (BTreeMap<ObjectId, DegradationLevel>, IndexDeltaStats) {
         /// One answered candidate: its position in the candidate list (the
         /// merge key), the object, its distribution, and its level.
         type Answered = (usize, ObjectId, Vec<(AnchorId, f64)>, DegradationLevel);
@@ -904,13 +945,23 @@ impl<'a> ParticlePreprocessor<'a> {
             merged
         };
 
-        let mut index = AnchorObjectIndex::new();
+        // Incremental maintenance: retract objects that fell out of the
+        // answered set (pruned away, vanished, never seen this pass),
+        // then apply each answered distribution as a delta.
+        let answered: BTreeSet<ObjectId> = results.iter().map(|&(_, o, _, _)| o).collect();
+        let mut stats = IndexDeltaStats {
+            retracted: index.retain_objects(|o| answered.contains(o)),
+            ..IndexDeltaStats::default()
+        };
         let mut degradation = BTreeMap::new();
         for (_, o, distribution, level) in results.drain(..) {
-            index.set_object(o, distribution);
+            match index.apply_object(o, distribution) {
+                DeltaOutcome::Inserted | DeltaOutcome::Updated => stats.applied += 1,
+                DeltaOutcome::Unchanged => stats.unchanged += 1,
+            }
             degradation.insert(o, level);
         }
-        SupervisedOutput { index, degradation }
+        (degradation, stats)
     }
 }
 
@@ -1379,6 +1430,50 @@ mod tests {
             assert_eq!(b.degradation.get(o), Some(&DegradationLevel::Full));
         }
         assert_eq!(a_cache.stats(), b_cache.stats());
+    }
+
+    #[test]
+    fn incremental_index_pass_equals_fresh_rebuild() {
+        let w = world();
+        let c = populated_collector(&w, 5);
+        let objects: Vec<ObjectId> = (0..5u32).map(ObjectId::new).collect();
+        let pre = ParticlePreprocessor::new(
+            &w.graph,
+            &w.anchors,
+            &w.readers,
+            PreprocessorConfig::default(),
+        );
+        let opts = SupervisionOptions::default();
+
+        // Pass 1 on an empty live index: everything is an insert.
+        let mut live = AnchorObjectIndex::new();
+        let (_, s1) =
+            pre.process_supervised_into(31, &c, &objects, 8, None, None, &opts, &mut live);
+        assert_eq!(s1.applied, 5);
+        assert_eq!(s1.retracted, 0);
+        let fresh1 = pre
+            .process_supervised(31, &c, &objects, 8, None, None, &opts)
+            .index;
+        assert_eq!(live, fresh1, "first pass equals a rebuild");
+
+        // Pass 2 with a shrunk candidate set and a different seed: the two
+        // dropped objects are retracted, the rest are updated in place —
+        // and the maintained index still equals the fresh build.
+        let keep = &objects[..3];
+        let (_, s2) = pre.process_supervised_into(32, &c, keep, 9, None, None, &opts, &mut live);
+        assert_eq!(s2.retracted, 2);
+        assert_eq!(s2.applied + s2.unchanged, 3);
+        let fresh2 = pre
+            .process_supervised(32, &c, keep, 9, None, None, &opts)
+            .index;
+        assert_eq!(live, fresh2, "incremental pass equals a rebuild");
+
+        // Replaying the identical pass is all no-ops.
+        let (_, s3) = pre.process_supervised_into(32, &c, keep, 9, None, None, &opts, &mut live);
+        assert_eq!(s3.unchanged, 3);
+        assert_eq!(s3.applied, 0);
+        assert_eq!(s3.retracted, 0);
+        assert_eq!(live, fresh2);
     }
 
     #[test]

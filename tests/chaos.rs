@@ -18,7 +18,9 @@
 //! — must leave query answers *byte-identical* to the committed
 //! fault-free golden fixture `tests/fixtures/expected_queries.txt`.
 
-use ripq::core::{EvaluationReport, IndoorQuerySystem, QueryId, SystemConfig, TimingMode};
+use ripq::core::{
+    DistanceBackend, EvaluationReport, IndoorQuerySystem, QueryId, SystemConfig, TimingMode,
+};
 use ripq::floorplan::{office_building, FloorPlan, FloorPlanBuilder, OfficeParams};
 use ripq::geom::{Point2, Rect};
 use ripq::rfid::{ObjectId, ReaderId};
@@ -306,6 +308,151 @@ fn faulted_pipeline_is_worker_count_invariant() {
         assert_eq!(r1, r2, "{}: workers 1 vs 2 diverge", sc.name);
         assert_eq!(r1, r4, "{}: workers 1 vs 4 diverge", sc.name);
     }
+}
+
+// ---------------------------------------------------------------------
+// Incremental APtoObjHT under faults: multi-pass chaos cell
+// ---------------------------------------------------------------------
+
+/// Streams one faulted scenario through the facade and evaluates at
+/// *several* watermarks, so the live APtoObjHT is incrementally
+/// re-derived (apply / retract deltas) pass over pass while faults
+/// perturb which objects have fresh readings. Returns one rendered
+/// transcript per pass — query bits, index masses, final stripped
+/// metrics — plus the last report for invariant checks.
+fn run_scenario_passes(
+    plan: FaultPlan,
+    workers: Option<usize>,
+    backend: DistanceBackend,
+) -> (Vec<String>, ScenarioRun) {
+    let floor = office_building(&OfficeParams::default()).expect("valid office");
+    let config = SystemConfig {
+        reader_count: 8,
+        prune_candidates: false,
+        parallelism: workers,
+        reorder_window: plan.max_delay_seconds,
+        timing: TimingMode::Logical,
+        observability: true,
+        distance_backend: backend,
+        ..SystemConfig::default()
+    };
+    let mut sys = IndoorQuerySystem::new(floor, config, 0xC4A05);
+    let readers: Vec<ReaderId> = sys.readers().iter().map(|r| r.id()).collect();
+
+    let mut injector = FaultInjector::new(plan, readers.len(), STREAM_SECONDS);
+    for o in injector.outages().to_vec() {
+        sys.note_reader_outage(o.reader, o.from, o.until);
+    }
+    let bounds = sys.plan().bounds();
+    let range_q = sys
+        .register_range(Rect::new(
+            bounds.min().x,
+            bounds.min().y,
+            bounds.width() * 0.5,
+            bounds.height() * 0.5,
+        ))
+        .expect("range query");
+    let knn_point = sys.readers()[0].position();
+    let knn_q = sys.register_knn(knn_point, 2).expect("kNN query");
+
+    let jitter = plan.max_delay_seconds;
+    let horizon = STREAM_SECONDS + jitter;
+    let mut renders = Vec::new();
+    let mut last = None;
+    for s in 0..=horizon {
+        let clean = if s <= STREAM_SECONDS {
+            clean_detections(s, &readers)
+        } else {
+            Vec::new()
+        };
+        let delivered = injector.step(s, &clean);
+        sys.ingest_delivery(s, &delivered);
+        let watermark = s.saturating_sub(jitter);
+        if watermark > 0 && watermark.is_multiple_of(20) && s >= jitter {
+            sys.flush_readings_through(watermark);
+            let run = ScenarioRun {
+                report: sys.evaluate(watermark),
+                range_q,
+                knn_q,
+            };
+            renders.push(render_run_portable(&run));
+            last = Some(run);
+        }
+    }
+    (
+        renders,
+        last.expect("60-second stream evaluates at least once"),
+    )
+}
+
+/// [`render_run`] minus the backend-local effort metrics (`oracle.*`
+/// gauges exist only under ALT; `spcache.*` legitimately differs), so
+/// transcripts compare across distance backends.
+fn render_run_portable(run: &ScenarioRun) -> String {
+    let mut out = String::new();
+    for (kind, rs) in [
+        ("range", &run.report.range_results[&run.range_q]),
+        ("knn", &run.report.knn_results[&run.knn_q]),
+    ] {
+        for r in rs.sorted() {
+            writeln!(
+                out,
+                "{kind} {} {:016x}",
+                r.object.raw(),
+                r.probability.to_bits()
+            )
+            .expect("string write");
+        }
+    }
+    for o in run.report.index.objects() {
+        writeln!(
+            out,
+            "mass {} {:016x}",
+            o.raw(),
+            run.report.index.total_probability(o).to_bits()
+        )
+        .expect("string write");
+    }
+    let mut snapshot = run.report.metrics.clone().expect("observability on");
+    let local = |k: &str| k.starts_with("oracle.") || k.starts_with("spcache.");
+    snapshot.counters.retain(|k, _| !local(k));
+    snapshot.gauges.retain(|k, _| !local(k));
+    out.push_str(&snapshot.to_json());
+    out
+}
+
+#[test]
+fn incremental_index_survives_the_chaos_grid_across_passes() {
+    let severe = Scenario::new("severe-multipass")
+        .drop_readings(0.35)
+        .duplicate(0.15)
+        .delay_up_to(3)
+        .outages(0.004, 8.0);
+
+    let (base, last) = run_scenario_passes(severe.plan, None, DistanceBackend::Dijkstra);
+    assert!(base.len() >= 3, "stream yields at least three passes");
+    assert_invariants(&last, &severe.name);
+
+    // The delta path actually ran: every pass re-derives the index
+    // incrementally, and the counters surface in the snapshot.
+    let snap = last.report.metrics.as_ref().expect("observability on");
+    assert!(
+        snap.counters["index.delta_applied"] > 0,
+        "incremental index applied no deltas"
+    );
+    for key in ["index.delta_retracted", "index.delta_unchanged"] {
+        assert!(snap.counters.contains_key(key), "missing counter {key}");
+    }
+
+    // Reproducible, worker-count invariant, and distance-backend
+    // invariant — pass by pass, byte for byte.
+    let (repeat, _) = run_scenario_passes(severe.plan, None, DistanceBackend::Dijkstra);
+    assert_eq!(base, repeat, "multi-pass cell is not reproducible");
+    let (workers, _) = run_scenario_passes(severe.plan, Some(4), DistanceBackend::Dijkstra);
+    assert_eq!(base, workers, "worker count leaked into a pass transcript");
+    let (alt, alt_last) = run_scenario_passes(severe.plan, Some(2), DistanceBackend::Alt);
+    assert_eq!(base, alt, "distance backend leaked into a pass transcript");
+    assert_invariants(&alt_last, "severe-multipass-alt");
 }
 
 // ---------------------------------------------------------------------

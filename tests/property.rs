@@ -255,6 +255,78 @@ proptest! {
         }
     }
 
+    /// The incrementally maintained APtoObjHT is indistinguishable from a
+    /// from-scratch rebuild after ANY sequence of preprocessing passes:
+    /// whatever candidate subsets come and go (retractions included),
+    /// applying each pass's deltas to a live index yields exactly the
+    /// index a fresh pass over the same candidates would build.
+    #[test]
+    fn incremental_index_equals_rebuild_after_any_delta_sequence(
+        detections in proptest::collection::vec(
+            proptest::option::of((0u32..5, 0u32..19)), 10..30
+        ),
+        passes in proptest::collection::vec((0u64..1000, 1u32..32), 1..4),
+    ) {
+        use ripq::pf::SupervisionOptions;
+        let plan = ripq::floorplan::office_building(&Default::default()).unwrap();
+        let graph = build_walking_graph(&plan);
+        let anchors = AnchorSet::generate(&graph, &plan, 1.0);
+        let readers = deploy_uniform(&plan, &graph, 19, 2.0);
+        let mut collector = DataCollector::new();
+        let mut any = false;
+        for (s, step) in detections.iter().enumerate() {
+            let det: Vec<(ObjectId, ReaderId)> = step
+                .map(|(o, r)| {
+                    any = true;
+                    (ObjectId::new(o), readers[r as usize].id())
+                })
+                .into_iter()
+                .collect();
+            collector.ingest_second(s as u64, &det);
+        }
+        prop_assume!(any);
+        let pre = ParticlePreprocessor::new(
+            &graph,
+            &anchors,
+            &readers,
+            PreprocessorConfig::default(),
+        );
+        let options = SupervisionOptions::default();
+        let mut live = AnchorObjectIndex::new();
+        for (i, &(seed, mask)) in passes.iter().enumerate() {
+            // Each pass sees a different candidate subset, so objects
+            // drop out (retraction) and reappear (insertion) freely.
+            let candidates: Vec<ObjectId> = (0..5u32)
+                .filter(|o| mask & (1 << o) != 0)
+                .map(ObjectId::new)
+                .collect();
+            let now = detections.len() as u64 + i as u64;
+            let (_, stats) = pre.process_supervised_into(
+                seed, &collector, &candidates, now, None, None, &options, &mut live,
+            );
+            let fresh = pre.process_supervised(
+                seed, &collector, &candidates, now, None, None, &options,
+            );
+            prop_assert_eq!(
+                &live, &fresh.index,
+                "pass {} (seed {}, mask {:#b}): delta-maintained index \
+                 diverged from rebuild", i, seed, mask
+            );
+            prop_assert!(
+                (stats.applied + stats.unchanged) as usize <= candidates.len(),
+                "pass {}: more deltas than candidates", i
+            );
+            // Replaying the identical pass is a pure no-op.
+            let mut replay = live.clone();
+            let (_, stats2) = pre.process_supervised_into(
+                seed, &collector, &candidates, now, None, None, &options, &mut replay,
+            );
+            prop_assert_eq!(&replay, &live, "replay must not move the index");
+            prop_assert_eq!(stats2.applied, 0, "replay applied deltas");
+            prop_assert_eq!(stats2.retracted, 0, "replay retracted objects");
+        }
+    }
+
     /// Algorithm 3 is monotone in the query window: growing the rectangle
     /// never lowers any object's probability (hallway width-ratio and room
     /// area-ratio compensation both grow with window inclusion).

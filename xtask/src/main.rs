@@ -3,6 +3,7 @@
 //! ```text
 //! cargo xtask lint [--json] [--root <path>]   run the static-analysis gate
 //! cargo xtask rules                           list the rule catalogue
+//! cargo xtask bench-json [--out <path>]       emit the BENCH_6.json perf snapshot
 //! ```
 
 use std::path::PathBuf;
@@ -15,7 +16,9 @@ fn usage() -> ExitCode {
         "usage: cargo xtask <task>\n\n\
          tasks:\n  \
          lint [--json] [--root <path>]   run the repo lint gate (exit 1 on violations)\n  \
-         rules                           list lint rules with their rationale"
+         rules                           list lint rules with their rationale\n  \
+         bench-json [--out <path>]       write the BENCH_6.json perf snapshot (default: \n  \
+                                         BENCH_6.json at the workspace root)"
     );
     ExitCode::from(2)
 }
@@ -60,6 +63,51 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("bench-json") => {
+            let mut out: Option<PathBuf> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => match it.next() {
+                        Some(p) => out = Some(PathBuf::from(p)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let out = out.or_else(|| {
+                let cwd = std::env::current_dir().ok()?;
+                Some(lint::find_workspace_root(&cwd)?.join("BENCH_6.json"))
+            });
+            let Some(out) = out else {
+                eprintln!("error: could not locate the workspace root (try --out <path>)");
+                return ExitCode::FAILURE;
+            };
+            let status = std::process::Command::new(env!("CARGO"))
+                .args([
+                    "run",
+                    "--release",
+                    "-p",
+                    "ripq-bench",
+                    "--bin",
+                    "bench_json",
+                    "--",
+                ])
+                .arg("--out")
+                .arg(&out)
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(s) => {
+                    eprintln!("error: bench_json exited with {s}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("error: failed to launch cargo: {e}");
                     ExitCode::FAILURE
                 }
             }
