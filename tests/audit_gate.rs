@@ -1,0 +1,55 @@
+//! Tier-1 gate: the real workspace must stay audit-clean.
+//!
+//! Runs the `cargo xtask audit` engine in-process against this
+//! repository — layering DAG (A1), metrics-registry drift (A2),
+//! determinism taint (A3), panic-surface ratchet (A4) — and fails on any
+//! unsuppressed error, including drift of the generated `docs/METRICS.md`
+//! (strict `--check` semantics). Also pins the determinism contract the
+//! audit's own outputs carry: two passes over the same tree must render
+//! byte-identical JSON and SARIF.
+
+use xtask::audit::{self, AuditOptions};
+
+#[test]
+fn workspace_has_no_unsuppressed_audit_findings() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = audit::run(root, AuditOptions { check: true }).expect("audit pass runs");
+    let failures: Vec<String> = report
+        .gate_failures()
+        .map(|f| {
+            format!(
+                "{}:{}:{} [{}/{}] {}",
+                f.file,
+                f.line,
+                f.col,
+                f.analysis.id(),
+                f.analysis.name(),
+                f.message
+            )
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "unsuppressed audit findings:\n{}",
+        failures.join("\n")
+    );
+    assert!(report.files_scanned > 50, "scan actually covered the tree");
+    assert!(report.crates_scanned >= 13, "all workspace crates scanned");
+}
+
+#[test]
+fn audit_outputs_are_byte_deterministic() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let a = audit::run(root, AuditOptions::default()).expect("audit pass runs");
+    let b = audit::run(root, AuditOptions::default()).expect("audit pass runs");
+    assert_eq!(
+        a.render_json(),
+        b.render_json(),
+        "JSON must be byte-identical"
+    );
+    assert_eq!(
+        a.render_sarif(),
+        b.render_sarif(),
+        "SARIF must be byte-identical"
+    );
+}

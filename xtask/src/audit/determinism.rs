@@ -1,0 +1,303 @@
+//! A3 — determinism taint.
+//!
+//! The worker-count byte-identity guarantee (PR 1) rests on RNG streams
+//! being consumed in a deterministic order. A function that both draws
+//! from an RNG (or derives from a seed) *and* iterates a hash-ordered
+//! container couples RNG consumption to `HashMap`/`HashSet` iteration
+//! order — two runs visit objects in different orders, consume stream
+//! values differently, and the outputs fork. The same iteration-order
+//! hazard applies to float accumulation (`+=`/`sum` over hash order),
+//! which the finding calls out when it sees it.
+//!
+//! R2 (`ordered-iteration`) already bans hash iteration in the five
+//! result-producing crates; A3 is the workspace-wide, *conjunction*
+//! version: any crate, but only where RNG/seed state is in scope, which
+//! is exactly where order nondeterminism contaminates replayability.
+
+use super::workspace::Workspace;
+use super::{Analysis, Finding, FindingStatus, Severity};
+use crate::lint::rules::{hash_container_names, lex, sorted_nearby, Tok};
+use crate::lint::source::SourceFile;
+
+/// One function region: name and 0-based inclusive line span.
+#[derive(Debug)]
+struct FnRegion {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+/// Splits a file into top-level-ish function regions by brace tracking.
+/// Nested functions/closures stay part of the enclosing region — the
+/// taint conjunction is about shared lexical scope, which nesting keeps.
+fn fn_regions(src: &SourceFile) -> Vec<FnRegion> {
+    let mut regions: Vec<FnRegion> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending: Option<(String, usize)> = None; // fn seen, body not yet opened
+    let mut open: Option<(String, usize, i64)> = None; // (name, start, body depth)
+    for (idx, line) in src.lines.iter().enumerate() {
+        let toks = lex(&line.code);
+        for w in 0..toks.len() {
+            match &toks[w] {
+                Tok::Ident("fn", _) if open.is_none() && pending.is_none() => {
+                    let name = match toks.get(w + 1) {
+                        Some(Tok::Ident(n, _)) => (*n).to_string(),
+                        _ => String::from("?"),
+                    };
+                    pending = Some((name, idx));
+                }
+                Tok::Punct("{", _) => {
+                    depth += 1;
+                    if let Some((name, start)) = pending.take() {
+                        open = Some((name, start, depth));
+                    }
+                }
+                Tok::Punct("}", _) => {
+                    if let Some((_, _, body_depth)) = &open {
+                        if depth == *body_depth {
+                            let (name, start, _) = open.take().unwrap_or_default();
+                            regions.push(FnRegion {
+                                name,
+                                start,
+                                end: idx,
+                            });
+                        }
+                    }
+                    depth -= 1;
+                }
+                // `fn f(...);` in a trait: no body, no region.
+                Tok::Punct(";", _) if open.is_none() => {
+                    pending = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    regions
+}
+
+/// Does this identifier carry RNG/seed state by naming convention? The
+/// workspace's own conventions (`rng`, `obj_rng`, `StdRng`, `seed`,
+/// `derive_stream_seed`, `seed_from_u64`) all match.
+fn rng_like(ident: &str) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    lower.contains("rng") || lower.contains("seed")
+}
+
+/// Iteration methods whose visit order is the hash order (mirrors R2).
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// Hash-iteration sites in `lines[start..=end]`, as (line idx, col,
+/// receiver, accumulates_floats).
+fn hash_iteration_sites(
+    src: &SourceFile,
+    names: &[String],
+    start: usize,
+    end: usize,
+) -> Vec<(usize, usize, String, bool)> {
+    let mut sites = Vec::new();
+    for idx in start..=end.min(src.lines.len() - 1) {
+        let line = &src.lines[idx];
+        if line.in_test {
+            continue;
+        }
+        let toks = lex(&line.code);
+        for w in 0..toks.len() {
+            let mut hit: Option<(usize, String)> = None;
+            if let Tok::Ident(method, mpos) = toks[w] {
+                if ITER_METHODS.contains(&method)
+                    && w >= 2
+                    && matches!(toks[w - 1], Tok::Punct(".", _))
+                {
+                    if let Tok::Ident(recv, _) = toks[w - 2] {
+                        if names.iter().any(|n| n == recv) {
+                            hit = Some((mpos, recv.to_string()));
+                        }
+                    }
+                }
+            }
+            if let Tok::Ident("in", _) = toks[w] {
+                let mut v = w + 1;
+                while v < toks.len()
+                    && matches!(toks[v], Tok::Punct("&" | "(", _) | Tok::Ident("mut", _))
+                {
+                    v += 1;
+                }
+                if matches!(toks.get(v), Some(Tok::Ident("self", _)))
+                    && matches!(toks.get(v + 1), Some(Tok::Punct(".", _)))
+                {
+                    v += 2;
+                }
+                if let Some(Tok::Ident(recv, rpos)) = toks.get(v) {
+                    let followed_by_call = matches!(toks.get(v + 1), Some(Tok::Punct(".", _)));
+                    if names.iter().any(|n| n == recv) && !followed_by_call {
+                        hit = Some((*rpos, (*recv).to_string()));
+                    }
+                }
+            }
+            if let Some((col, recv)) = hit {
+                if !sorted_nearby(src, idx) {
+                    let accumulates = (idx..=(idx + 3).min(end))
+                        .filter_map(|i| src.lines.get(i))
+                        .any(|l| l.code.contains("+=") || l.code.contains(".sum"));
+                    sites.push((idx, col, recv, accumulates));
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Runs A3 over the scanned workspace.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for krate in &ws.crates {
+        if krate.name == "xtask" {
+            // The audit/lint tooling manipulates rule tables naming these
+            // very tokens; it serves no queries and draws no RNG.
+            continue;
+        }
+        for file in &krate.files {
+            let names = hash_container_names(&file.src);
+            if names.is_empty() {
+                continue;
+            }
+            for region in fn_regions(&file.src) {
+                // Skip all-test regions.
+                if (region.start..=region.end)
+                    .filter_map(|i| file.src.lines.get(i))
+                    .all(|l| l.in_test)
+                {
+                    continue;
+                }
+                let touches_rng = (region.start..=region.end)
+                    .filter_map(|i| file.src.lines.get(i))
+                    .filter(|l| !l.in_test)
+                    .any(|l| {
+                        lex(&l.code)
+                            .iter()
+                            .any(|t| matches!(t, Tok::Ident(n, _) if rng_like(n)))
+                    });
+                if !touches_rng {
+                    continue;
+                }
+                for (idx, col, recv, accumulates) in
+                    hash_iteration_sites(&file.src, &names, region.start, region.end)
+                {
+                    let accum_note = if accumulates {
+                        " and float-accumulates in that order"
+                    } else {
+                        ""
+                    };
+                    findings.push(Finding {
+                        analysis: Analysis::DeterminismTaint,
+                        severity: Severity::Error,
+                        file: file.rel.clone(),
+                        line: idx + 1,
+                        col: col + 1,
+                        message: format!(
+                            "determinism taint: fn `{}` touches RNG/seed state and iterates \
+                             hash-ordered `{recv}`{accum_note} — RNG consumption couples to \
+                             hash order, breaking worker-count byte-identity; iterate a \
+                             BTree container or a sorted key list instead",
+                            region.name
+                        ),
+                        snippet: String::new(),
+                        status: FindingStatus::Active,
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(src)
+    }
+
+    #[test]
+    fn taint_requires_the_conjunction() {
+        // RNG + hash iteration → tainted.
+        let f = parse(
+            "fn resample(seed: u64) {\n\
+             let weights: HashMap<u32, f64> = HashMap::new();\n\
+             let mut total = 0.0;\n\
+             for (_, w) in weights.iter() { total += w; }\n\
+             }\n",
+        );
+        let ws = wrap(f);
+        let findings = check(&ws);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("float-accumulates"));
+
+        // Hash iteration alone (no RNG) → A3 silent (R2's territory).
+        let f = parse(
+            "fn total() {\n\
+             let weights: HashMap<u32, f64> = HashMap::new();\n\
+             for (_, w) in weights.iter() { }\n\
+             }\n",
+        );
+        assert!(check(&wrap(f)).is_empty());
+
+        // RNG + BTree iteration → clean.
+        let f = parse(
+            "fn resample(rng: &mut StdRng) {\n\
+             let weights: BTreeMap<u32, f64> = BTreeMap::new();\n\
+             for (_, w) in weights.iter() { }\n\
+             }\n",
+        );
+        assert!(check(&wrap(f)).is_empty());
+
+        // RNG + hash iteration but sorted immediately → clean.
+        let f = parse(
+            "fn resample(seed: u64) {\n\
+             let m: HashMap<u32, f64> = HashMap::new();\n\
+             let mut v: Vec<_> = m.iter().collect();\n\
+             v.sort();\n\
+             }\n",
+        );
+        assert!(check(&wrap(f)).is_empty());
+    }
+
+    #[test]
+    fn separate_functions_do_not_cross_taint() {
+        let f = parse(
+            "fn draws(rng: &mut StdRng) { let x = 1; }\n\
+             fn iterates() {\n\
+             let m: HashMap<u32, f64> = HashMap::new();\n\
+             for v in m.values() { }\n\
+             }\n",
+        );
+        assert!(check(&wrap(f)).is_empty());
+    }
+
+    fn wrap(src: SourceFile) -> Workspace {
+        use super::super::workspace::{AuditFile, CrateInfo};
+        Workspace {
+            crates: vec![CrateInfo {
+                name: "sim".to_string(),
+                manifest_rel: "crates/sim/Cargo.toml".to_string(),
+                deps: Vec::new(),
+                files: vec![AuditFile {
+                    rel: "crates/sim/src/lib.rs".to_string(),
+                    src,
+                }],
+            }],
+            files_scanned: 1,
+        }
+    }
+}

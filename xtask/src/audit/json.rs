@@ -1,0 +1,266 @@
+//! A minimal JSON reader for the audit's two inputs: the panic-ratchet
+//! baseline and `tests/fixtures/expected_metrics.json`.
+//!
+//! Both files are machine-written by this repository, so the parser only
+//! has to be correct, not forgiving: objects, arrays, strings (with the
+//! escapes our own writers emit), integers/floats, booleans and null.
+//! It is hand-rolled because the build is hermetic — no serde_json.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object keys are name-ordered so traversal is
+/// deterministic regardless of file order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; the baseline only holds small
+    /// integer counts, far inside f64's exact range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The number as u64, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Trailing whitespace is allowed; trailing
+/// garbage is an error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{}` at byte {}, found {:?}",
+            b as char,
+            *pos,
+            bytes.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        other => Err(format!(
+            "unexpected {:?} at byte {}",
+            other.map(|&c| c as char),
+            *pos
+        )),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect_byte(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            other => {
+                return Err(format!(
+                    "expected `,` or `}}` at byte {}, found {:?}",
+                    *pos,
+                    other.map(|&c| c as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect_byte(bytes, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(out));
+    }
+    loop {
+        out.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(out));
+            }
+            other => {
+                return Err(format!(
+                    "expected `,` or `]` at byte {}, found {:?}",
+                    *pos,
+                    other.map(|&c| c as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return String::from_utf8(out).map_err(|e| e.to_string()),
+            b'\\' => {
+                let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' | b'\\' | b'/' => out.push(esc),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        *pos += 4;
+                        // Our writers only emit BMP control-character
+                        // escapes, so no surrogate-pair handling.
+                        let ch = char::from_u32(code).ok_or("bad \\u code point")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("unsupported escape `\\{}`", other as char)),
+                }
+            }
+            _ => out.push(b),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit()
+            || bytes[*pos] == b'.'
+            || bytes[*pos] == b'e'
+            || bytes[*pos] == b'E'
+            || bytes[*pos] == b'+'
+            || bytes[*pos] == b'-')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_shapes_we_read() {
+        let v = parse(
+            r#"{"schema": "x/v1", "crates": {"core": {"unwrap": 3, "ok": true}},
+               "list": [1, 2.5, -4], "none": null, "s": "a\"b\\c\ndA"}"#,
+        )
+        .expect("parses");
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj["schema"].as_str(), Some("x/v1"));
+        let core = obj["crates"].as_obj().unwrap()["core"].as_obj().unwrap();
+        assert_eq!(core["unwrap"].as_u64(), Some(3));
+        assert_eq!(core["ok"], Value::Bool(true));
+        assert_eq!(
+            obj["list"],
+            Value::Arr(vec![Value::Num(1.0), Value::Num(2.5), Value::Num(-4.0)])
+        );
+        assert_eq!(obj["s"].as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! `cargo xtask audit` — whole-workspace structural analysis.
+//!
+//! Where `lint` (R1–R6) is token-level and per-file, `audit` sees the
+//! workspace as one artifact and enforces the invariants no single file
+//! can witness:
+//!
+//! * **A1 `layering`** — the internal crate dependency DAG must match
+//!   the declared layering spec ([`layering::LAYERS`]): no cycles, no
+//!   undeclared code edges, no forbidden edges (`core → sim`, anything
+//!   out of `obs`/`persist`).
+//! * **A2 `metrics-registry`** — every instrument name literal in code
+//!   must be documented in `xtask/metrics_registry.toml` (and vice
+//!   versa), the golden metrics fixture must only pin documented names,
+//!   and `docs/METRICS.md` is generated from the registry.
+//! * **A3 `determinism-taint`** — no function may both touch RNG/seed
+//!   state and iterate a hash-ordered container: that couples RNG
+//!   consumption to hash order and breaks worker-count byte-identity.
+//! * **A4 `panic-ratchet`** — per-crate panic-surface counts
+//!   (`unwrap`/`expect`/panic macros/slice indexing) may only decrease
+//!   relative to the checked-in baseline `xtask/audit_baseline.json`.
+//!
+//! Findings share the lint gate's suppression grammar —
+//! `ripq-lint: allow(<analysis-name>) -- reason` on the finding line or
+//! the line above, in `//` comments in Rust sources and `#` comments in
+//! the manifest/registry files findings anchor to. Output renders as
+//! rustc-style text, JSON, or SARIF 2.1 ([`sarif`]); all three are
+//! byte-deterministic for a given tree.
+
+pub mod determinism;
+pub mod json;
+pub mod layering;
+pub mod metrics;
+pub mod panics;
+pub mod sarif;
+pub mod workspace;
+
+use crate::lint::source::parse_suppressions;
+use panics::PanicCounts;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// The four audit analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Analysis {
+    /// A1 — crate layering DAG vs. the declared spec.
+    Layering,
+    /// A2 — metrics-registry drift.
+    MetricsRegistry,
+    /// A3 — determinism taint (RNG × hash-order).
+    DeterminismTaint,
+    /// A4 — panic-surface ratchet.
+    PanicRatchet,
+}
+
+impl Analysis {
+    /// Stable short id (`A1` … `A4`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Analysis::Layering => "A1",
+            Analysis::MetricsRegistry => "A2",
+            Analysis::DeterminismTaint => "A3",
+            Analysis::PanicRatchet => "A4",
+        }
+    }
+
+    /// Name used in diagnostics and `allow(...)` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Analysis::Layering => "layering",
+            Analysis::MetricsRegistry => "metrics-registry",
+            Analysis::DeterminismTaint => "determinism-taint",
+            Analysis::PanicRatchet => "panic-ratchet",
+        }
+    }
+
+    /// One-line rationale, shown by `cargo xtask rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Analysis::Layering => {
+                "internal crate dependencies must match the declared layering DAG: no \
+                 cycles, no undeclared or forbidden edges (core must never reach sim; \
+                 obs/persist stay dependency-free)"
+            }
+            Analysis::MetricsRegistry => {
+                "every instrument name literal must be documented in the canonical \
+                 registry and vice versa; docs/METRICS.md is generated from it"
+            }
+            Analysis::DeterminismTaint => {
+                "no function may both touch RNG/seed state and iterate a hash-ordered \
+                 container — that breaks worker-count byte-identity"
+            }
+            Analysis::PanicRatchet => {
+                "per-crate panic-surface counts (unwrap/expect/panic!/slice-index) may \
+                 only decrease relative to the checked-in baseline"
+            }
+        }
+    }
+
+    /// All analyses, in id order.
+    pub const ALL: [Analysis; 4] = [
+        Analysis::Layering,
+        Analysis::MetricsRegistry,
+        Analysis::DeterminismTaint,
+        Analysis::PanicRatchet,
+    ];
+}
+
+/// Finding severity. Only active [`Severity::Error`] findings fail the
+/// gate; notes are advisory (ratchet-tightening hints, doc drift outside
+/// `--check` mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the gate when active.
+    Error,
+    /// Advisory.
+    Note,
+}
+
+/// Suppression state of a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingStatus {
+    /// Unsuppressed.
+    Active,
+    /// Silenced by a reasoned inline suppression.
+    Suppressed(String),
+}
+
+/// One audit finding.
+#[derive(Debug)]
+pub struct Finding {
+    /// Which analysis produced it.
+    pub analysis: Analysis,
+    /// Severity.
+    pub severity: Severity,
+    /// Workspace-relative path the finding anchors to.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Explanation and remediation advice.
+    pub message: String,
+    /// The anchored source line, trimmed (filled by the orchestrator).
+    pub snippet: String,
+    /// Suppression state (resolved by the orchestrator).
+    pub status: FindingStatus,
+}
+
+/// Options for one audit pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AuditOptions {
+    /// CI mode: `docs/METRICS.md` drift becomes an error instead of a
+    /// note.
+    pub check: bool,
+}
+
+/// The result of one audit pass.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Every finding, including suppressed ones, sorted by
+    /// (file, line, col, analysis id).
+    pub findings: Vec<Finding>,
+    /// Crates scanned.
+    pub crates_scanned: usize,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// The `docs/METRICS.md` text generated from the registry (empty if
+    /// the registry is missing or unparsable).
+    pub metrics_doc: String,
+    /// Measured per-crate panic surface, for `--update-baseline`.
+    pub panic_counts: BTreeMap<String, PanicCounts>,
+}
+
+impl AuditReport {
+    /// Unsuppressed error findings — these fail the gate.
+    pub fn gate_failures(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.status == FindingStatus::Active && f.severity == Severity::Error)
+    }
+
+    /// Active notes.
+    pub fn notes(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.status == FindingStatus::Active && f.severity == Severity::Note)
+    }
+
+    /// (errors, notes, suppressed) counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for f in &self.findings {
+            match (&f.status, f.severity) {
+                (FindingStatus::Active, Severity::Error) => c.0 += 1,
+                (FindingStatus::Active, Severity::Note) => c.1 += 1,
+                (FindingStatus::Suppressed(_), _) => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Renders rustc-style text diagnostics plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in self
+            .findings
+            .iter()
+            .filter(|f| f.status == FindingStatus::Active)
+        {
+            let level = match f.severity {
+                Severity::Error => "error",
+                Severity::Note => "note",
+            };
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: {level}[{}/{}]: {}",
+                f.file,
+                f.line,
+                f.col,
+                f.analysis.id(),
+                f.analysis.name(),
+                f.message
+            );
+            if !f.snippet.is_empty() {
+                let _ = writeln!(out, "    {}", f.snippet);
+            }
+        }
+        let (errors, notes, suppressed) = self.counts();
+        let _ = writeln!(
+            out,
+            "ripq-audit: {} error{} ({} note{}, {} suppressed) — {} crates, {} files scanned",
+            errors,
+            if errors == 1 { "" } else { "s" },
+            notes,
+            if notes == 1 { "" } else { "s" },
+            suppressed,
+            self.crates_scanned,
+            self.files_scanned
+        );
+        out
+    }
+
+    /// Renders the whole report as a JSON object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let (status, reason) = match &f.status {
+                FindingStatus::Active => ("active", String::new()),
+                FindingStatus::Suppressed(r) => ("suppressed", r.clone()),
+            };
+            let severity = match f.severity {
+                Severity::Error => "error",
+                Severity::Note => "note",
+            };
+            let _ = write!(
+                out,
+                "{}\n    {{\"analysis\": \"{}\", \"name\": \"{}\", \"severity\": \"{severity}\", \
+                 \"file\": \"{}\", \"line\": {}, \"col\": {}, \"status\": \"{status}\", \
+                 \"reason\": \"{}\", \"message\": \"{}\", \"snippet\": \"{}\"}}",
+                if i == 0 { "" } else { "," },
+                f.analysis.id(),
+                f.analysis.name(),
+                esc(&f.file),
+                f.line,
+                f.col,
+                esc(&reason),
+                esc(&f.message),
+                esc(&f.snippet)
+            );
+        }
+        let (errors, notes, suppressed) = self.counts();
+        let _ = write!(
+            out,
+            "\n  ],\n  \"errors\": {errors},\n  \"notes\": {notes},\n  \
+             \"suppressed\": {suppressed},\n  \"crates_scanned\": {},\n  \
+             \"files_scanned\": {}\n}}\n",
+            self.crates_scanned, self.files_scanned
+        );
+        out
+    }
+
+    /// Renders SARIF 2.1.
+    pub fn render_sarif(&self) -> String {
+        sarif::render(self)
+    }
+}
+
+/// JSON string escaping shared by the report renderers.
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs the full audit over the workspace rooted at `root`.
+pub fn run(root: &Path, opts: AuditOptions) -> Result<AuditReport, String> {
+    let ws = workspace::scan(root)?;
+    let mut findings = layering::check(&ws);
+    let (a2, metrics_doc) = metrics::check(root, &ws);
+    findings.extend(a2);
+    findings.extend(determinism::check(&ws));
+    let (a4, panic_counts) = panics::check(root, &ws);
+    findings.extend(a4);
+
+    // docs/METRICS.md drift: the committed doc must be exactly what the
+    // registry generates.
+    if !metrics_doc.is_empty() {
+        let committed = fs::read_to_string(root.join(metrics::DOC_PATH)).unwrap_or_default();
+        if committed != metrics_doc {
+            findings.push(Finding {
+                analysis: Analysis::MetricsRegistry,
+                severity: if opts.check {
+                    Severity::Error
+                } else {
+                    Severity::Note
+                },
+                file: metrics::DOC_PATH.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "{} has drifted from the registry — regenerate it with \
+                     `cargo xtask audit --write-docs`",
+                    metrics::DOC_PATH
+                ),
+                snippet: String::new(),
+                status: FindingStatus::Active,
+            });
+        }
+    }
+
+    resolve_suppressions(root, &ws, &mut findings);
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.analysis.id()).cmp(&(&b.file, b.line, b.col, b.analysis.id()))
+    });
+    Ok(AuditReport {
+        findings,
+        crates_scanned: ws.crates.len(),
+        files_scanned: ws.files_scanned,
+        metrics_doc,
+        panic_counts,
+    })
+}
+
+/// Applies the shared suppression grammar: for findings anchored in
+/// scanned Rust sources the parsed suppressions are used directly; for
+/// manifest/registry files (`#` comments) the two candidate lines are
+/// parsed on demand. A suppression without a reason does not suppress.
+fn resolve_suppressions(root: &Path, ws: &workspace::Workspace, findings: &mut [Finding]) {
+    let mut aux_cache: BTreeMap<String, Vec<Vec<crate::lint::source::Suppression>>> =
+        BTreeMap::new();
+    for finding in findings.iter_mut() {
+        let candidates: Vec<crate::lint::source::Suppression> = if let Some(file) = ws
+            .crates
+            .iter()
+            .flat_map(|c| c.files.iter())
+            .find(|f| f.rel == finding.file)
+        {
+            [finding.line.checked_sub(1), finding.line.checked_sub(2)]
+                .into_iter()
+                .flatten()
+                .filter_map(|idx| file.src.lines.get(idx))
+                .flat_map(|l| l.suppressions.iter().cloned())
+                .collect()
+        } else {
+            let lines = aux_cache.entry(finding.file.clone()).or_insert_with(|| {
+                fs::read_to_string(root.join(&finding.file))
+                    .unwrap_or_default()
+                    .lines()
+                    .map(|l| {
+                        l.split_once('#')
+                            .map(|(_, comment)| parse_suppressions(comment))
+                            .unwrap_or_default()
+                    })
+                    .collect()
+            });
+            [finding.line.checked_sub(1), finding.line.checked_sub(2)]
+                .into_iter()
+                .flatten()
+                .filter_map(|idx| lines.get(idx))
+                .flat_map(|s| s.iter().cloned())
+                .collect()
+        };
+        for s in candidates {
+            if s.rule == finding.analysis.name() || s.rule == finding.analysis.id() {
+                match s.reason {
+                    Some(r) => {
+                        finding.status = FindingStatus::Suppressed(r);
+                        break;
+                    }
+                    None => finding.message.push_str(
+                        " (a suppression comment was found but lacks the required \
+                         ` -- reason`, so it does not apply)",
+                    ),
+                }
+            }
+        }
+    }
+    // Fill snippets for findings anchored in scanned sources.
+    for finding in findings.iter_mut() {
+        if finding.snippet.is_empty() {
+            if let Some(file) = ws
+                .crates
+                .iter()
+                .flat_map(|c| c.files.iter())
+                .find(|f| f.rel == finding.file)
+            {
+                finding.snippet = file
+                    .src
+                    .lines
+                    .get(finding.line - 1)
+                    .map(|l| l.raw.trim().to_string())
+                    .unwrap_or_default();
+            }
+        }
+    }
+}

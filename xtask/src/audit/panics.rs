@@ -1,0 +1,338 @@
+//! A4 — panic-surface ratchet.
+//!
+//! R3 bans *new* panic paths but carries a reasoned residue (inline
+//! suppressions and the static allowlist). This analysis measures that
+//! residue: per-crate counts of `.unwrap()`, `.expect(…)`, panicking
+//! macros and slice-index expressions in non-test code, persisted to a
+//! checked-in baseline (`xtask/audit_baseline.json`) that is only
+//! allowed to go *down*. A count above baseline fails the gate; a count
+//! below it is a note inviting a baseline tightening
+//! (`cargo xtask audit --update-baseline`); a baseline entry for a
+//! deleted crate is stale and fails the gate, mirroring the lint
+//! allowlist's stale-entry check.
+
+use super::json;
+use super::workspace::Workspace;
+use super::{Analysis, Finding, FindingStatus, Severity};
+use crate::lint::rules::{lex, Tok};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Workspace-relative path of the ratchet baseline.
+pub const BASELINE_PATH: &str = "xtask/audit_baseline.json";
+
+/// Panic-surface counts for one crate.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PanicCounts {
+    /// `.unwrap()` call sites.
+    pub unwrap: u64,
+    /// `.expect(…)` call sites.
+    pub expect: u64,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!` sites.
+    pub panic_macros: u64,
+    /// Slice/array index expressions (`x[i]`) — each one is an implicit
+    /// bounds-check panic path.
+    pub slice_index: u64,
+}
+
+impl PanicCounts {
+    /// Total panic surface.
+    pub fn total(&self) -> u64 {
+        self.unwrap + self.expect + self.panic_macros + self.slice_index
+    }
+
+    fn fields(&self) -> [(&'static str, u64); 4] {
+        [
+            ("unwrap", self.unwrap),
+            ("expect", self.expect),
+            ("panic_macros", self.panic_macros),
+            ("slice_index", self.slice_index),
+        ]
+    }
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Counts the panic surface of every crate's non-test source code.
+pub fn measure(ws: &Workspace) -> BTreeMap<String, PanicCounts> {
+    let mut out: BTreeMap<String, PanicCounts> = BTreeMap::new();
+    for krate in &ws.crates {
+        let counts = out.entry(krate.name.clone()).or_default();
+        for file in &krate.files {
+            for line in &file.src.lines {
+                if line.in_test {
+                    continue;
+                }
+                let toks = lex(&line.code);
+                for w in 0..toks.len() {
+                    match &toks[w] {
+                        Tok::Ident(name, _) => {
+                            let after_dot = w >= 1 && matches!(toks[w - 1], Tok::Punct(".", _));
+                            let called = matches!(toks.get(w + 1), Some(Tok::Punct("(", _)));
+                            let is_macro = matches!(toks.get(w + 1), Some(Tok::Punct("!", _)));
+                            if after_dot && called && *name == "unwrap" {
+                                counts.unwrap += 1;
+                            } else if after_dot && called && *name == "expect" {
+                                counts.expect += 1;
+                            } else if is_macro && PANIC_MACROS.contains(name) {
+                                counts.panic_macros += 1;
+                            }
+                        }
+                        // An index expression: `[` directly following a
+                        // value (identifier or a closing bracket). Array
+                        // literals, attributes and types don't match.
+                        Tok::Punct("[", _)
+                            if w >= 1
+                                && matches!(
+                                    toks[w - 1],
+                                    Tok::Ident(_, _) | Tok::Punct(")" | "]", _)
+                                ) =>
+                        {
+                            counts.slice_index += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the baseline document (deterministic, name-ordered).
+pub fn render_baseline(counts: &BTreeMap<String, PanicCounts>) -> String {
+    let mut out = String::from("{\n  \"schema\": \"ripq-audit-baseline/v1\",\n  \"crates\": {\n");
+    for (i, (name, c)) in counts.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{name}\": {{\"unwrap\": {}, \"expect\": {}, \"panic_macros\": {}, \
+             \"slice_index\": {}}}{}",
+            c.unwrap,
+            c.expect,
+            c.panic_macros,
+            c.slice_index,
+            if i + 1 == counts.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parses a baseline document.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, PanicCounts>, String> {
+    let doc = json::parse(text)?;
+    let obj = doc.as_obj().ok_or("baseline is not an object")?;
+    if obj.get("schema").and_then(|v| v.as_str()) != Some("ripq-audit-baseline/v1") {
+        return Err("baseline schema tag is not ripq-audit-baseline/v1".to_string());
+    }
+    let crates = obj
+        .get("crates")
+        .and_then(|v| v.as_obj())
+        .ok_or("baseline has no crates object")?;
+    let mut out = BTreeMap::new();
+    for (name, entry) in crates {
+        let entry = entry
+            .as_obj()
+            .ok_or_else(|| format!("crate `{name}` entry is not an object"))?;
+        let field = |key: &str| -> Result<u64, String> {
+            entry
+                .get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("crate `{name}` is missing integer field `{key}`"))
+        };
+        out.insert(
+            name.clone(),
+            PanicCounts {
+                unwrap: field("unwrap")?,
+                expect: field("expect")?,
+                panic_macros: field("panic_macros")?,
+                slice_index: field("slice_index")?,
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Runs A4: measures the workspace and compares it to the baseline.
+/// Returns (findings, measured counts).
+pub fn check(root: &Path, ws: &Workspace) -> (Vec<Finding>, BTreeMap<String, PanicCounts>) {
+    let measured = measure(ws);
+    let mut findings = Vec::new();
+    let baseline_text = match fs::read_to_string(root.join(BASELINE_PATH)) {
+        Ok(t) => t,
+        Err(_) => {
+            findings.push(Finding {
+                analysis: Analysis::PanicRatchet,
+                severity: Severity::Error,
+                file: BASELINE_PATH.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "panic-ratchet baseline `{BASELINE_PATH}` is missing — seed it with \
+                     `cargo xtask audit --update-baseline`"
+                ),
+                snippet: String::new(),
+                status: FindingStatus::Active,
+            });
+            return (findings, measured);
+        }
+    };
+    let baseline = match parse_baseline(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            findings.push(Finding {
+                analysis: Analysis::PanicRatchet,
+                severity: Severity::Error,
+                file: BASELINE_PATH.to_string(),
+                line: 1,
+                col: 1,
+                message: format!("cannot parse `{BASELINE_PATH}`: {e}"),
+                snippet: String::new(),
+                status: FindingStatus::Active,
+            });
+            return (findings, measured);
+        }
+    };
+
+    for (name, counts) in &measured {
+        let Some(base) = baseline.get(name) else {
+            findings.push(Finding {
+                analysis: Analysis::PanicRatchet,
+                severity: Severity::Error,
+                file: BASELINE_PATH.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate `{name}` has no ratchet baseline entry — record its current \
+                     panic surface with `cargo xtask audit --update-baseline`"
+                ),
+                snippet: String::new(),
+                status: FindingStatus::Active,
+            });
+            continue;
+        };
+        let mut regressions = Vec::new();
+        for ((field, now), (_, before)) in counts.fields().iter().zip(base.fields().iter()) {
+            if now > before {
+                regressions.push(format!("{field} {before} → {now}"));
+            }
+        }
+        if !regressions.is_empty() {
+            findings.push(Finding {
+                analysis: Analysis::PanicRatchet,
+                severity: Severity::Error,
+                file: BASELINE_PATH.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "panic-surface ratchet regression in `{name}`: {} — the baseline only \
+                     ratchets down; remove the new panic path (propagate RipqError) instead \
+                     of raising the baseline",
+                    regressions.join(", ")
+                ),
+                snippet: String::new(),
+                status: FindingStatus::Active,
+            });
+        } else if counts.total() < base.total() {
+            findings.push(Finding {
+                analysis: Analysis::PanicRatchet,
+                severity: Severity::Note,
+                file: BASELINE_PATH.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "panic surface of `{name}` shrank ({} → {}) — tighten the ratchet with \
+                     `cargo xtask audit --update-baseline`",
+                    base.total(),
+                    counts.total()
+                ),
+                snippet: String::new(),
+                status: FindingStatus::Active,
+            });
+        }
+    }
+
+    for name in baseline.keys() {
+        if !measured.contains_key(name) {
+            findings.push(Finding {
+                analysis: Analysis::PanicRatchet,
+                severity: Severity::Error,
+                file: BASELINE_PATH.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "stale ratchet baseline entry `{name}` — the crate no longer exists; \
+                     prune it with `cargo xtask audit --update-baseline`"
+                ),
+                snippet: String::new(),
+                status: FindingStatus::Active,
+            });
+        }
+    }
+    (findings, measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::source::SourceFile;
+
+    #[test]
+    fn measurement_counts_each_panic_shape() {
+        use super::super::workspace::{AuditFile, CrateInfo};
+        let src = SourceFile::parse(
+            "fn f(v: &[u32]) -> u32 {\n\
+             let a = o.unwrap();\n\
+             let b = o.expect(\"m\");\n\
+             let c = o.unwrap_or(0);\n\
+             if bad { panic!(\"x\") }\n\
+             let d = v[0] + grid[i][j];\n\
+             let e = [1, 2, 3];\n\
+             #[derive(Debug)]\n\
+             struct S;\n\
+             v.len()\n\
+             }\n\
+             #[cfg(test)]\nmod t { fn g() { x.unwrap(); } }\n",
+        );
+        let ws = Workspace {
+            crates: vec![CrateInfo {
+                name: "core".to_string(),
+                manifest_rel: "crates/core/Cargo.toml".to_string(),
+                deps: Vec::new(),
+                files: vec![AuditFile {
+                    rel: "crates/core/src/lib.rs".to_string(),
+                    src,
+                }],
+            }],
+            files_scanned: 1,
+        };
+        let counts = measure(&ws)["core"];
+        assert_eq!(counts.unwrap, 1, "unwrap_or and test code excluded");
+        assert_eq!(counts.expect, 1);
+        assert_eq!(counts.panic_macros, 1);
+        // v[0], grid[i], [i][j]'s chained index — but not the array
+        // literal or the #[derive] attribute.
+        assert_eq!(counts.slice_index, 3);
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert(
+            "core".to_string(),
+            PanicCounts {
+                unwrap: 1,
+                expect: 2,
+                panic_macros: 3,
+                slice_index: 4,
+            },
+        );
+        counts.insert("geom".to_string(), PanicCounts::default());
+        let text = render_baseline(&counts);
+        let parsed = parse_baseline(&text).expect("parses");
+        assert_eq!(parsed, counts);
+        assert!(parse_baseline("{\"schema\": \"other\", \"crates\": {}}").is_err());
+    }
+}

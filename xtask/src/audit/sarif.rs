@@ -1,0 +1,130 @@
+//! SARIF 2.1.0 rendering of an [`AuditReport`].
+//!
+//! SARIF is the interchange format CI code-scanning UIs ingest; emitting
+//! it lets the audit gate's findings annotate pull requests without any
+//! extra glue. The output is deliberately minimal — one `run` with one
+//! `tool.driver` describing the four analyses as rules, plus one
+//! `result` per finding — and byte-deterministic: findings arrive
+//! pre-sorted from the orchestrator, all maps render in fixed order, and
+//! no timestamps or absolute paths appear anywhere.
+
+use super::{esc, Analysis, AuditReport, FindingStatus, Severity};
+use std::fmt::Write as _;
+
+/// Renders `report` as a SARIF 2.1.0 log with a single run.
+pub fn render(report: &AuditReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"ripq-audit\",\n          \
+         \"informationUri\": \"https://example.invalid/ripq\",\n          \"rules\": [\n",
+    );
+    for (i, a) in Analysis::ALL.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{}\", \"name\": \"{}\", \
+             \"shortDescription\": {{\"text\": \"{}\"}}}}{}",
+            a.id(),
+            a.name(),
+            esc(a.summary()),
+            if i + 1 == Analysis::ALL.len() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    let results: Vec<_> = report.findings.iter().collect();
+    for (i, f) in results.iter().enumerate() {
+        let level = match (&f.status, f.severity) {
+            // SARIF has no first-class suppression level on results we
+            // want surfaced; render suppressed findings as `none` so
+            // scanners keep the record without raising an alert.
+            (FindingStatus::Suppressed(_), _) => "none",
+            (_, Severity::Error) => "error",
+            (_, Severity::Note) => "note",
+        };
+        let rule_index = Analysis::ALL
+            .iter()
+            .position(|a| *a == f.analysis)
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"ruleIndex\": {rule_index}, \
+             \"level\": \"{level}\", \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \
+             \"startColumn\": {}}}}}}}]}}{}",
+            f.analysis.id(),
+            esc(&f.message),
+            esc(&f.file),
+            f.line,
+            f.col,
+            if i + 1 == results.len() { "" } else { "," }
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::Finding;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn sarif_is_valid_json_and_deterministic() {
+        let report = AuditReport {
+            findings: vec![Finding {
+                analysis: Analysis::Layering,
+                severity: Severity::Error,
+                file: "crates/core/Cargo.toml".to_string(),
+                line: 9,
+                col: 1,
+                message: "forbidden edge \"core\" → \"sim\"".to_string(),
+                snippet: String::new(),
+                status: FindingStatus::Active,
+            }],
+            crates_scanned: 1,
+            files_scanned: 1,
+            metrics_doc: String::new(),
+            panic_counts: BTreeMap::new(),
+        };
+        let a = render(&report);
+        let b = render(&report);
+        assert_eq!(a, b, "byte-deterministic");
+        let parsed = crate::audit::json::parse(&a).expect("valid JSON");
+        let runs = parsed
+            .as_obj()
+            .and_then(|o| o.get("runs"))
+            .expect("has runs");
+        let _ = runs;
+        assert!(a.contains("\"level\": \"error\""));
+        assert!(a.contains("\"ruleId\": \"A1\""));
+    }
+
+    #[test]
+    fn suppressed_findings_render_level_none() {
+        let report = AuditReport {
+            findings: vec![Finding {
+                analysis: Analysis::DeterminismTaint,
+                severity: Severity::Error,
+                file: "src/lib.rs".to_string(),
+                line: 3,
+                col: 5,
+                message: "taint".to_string(),
+                snippet: String::new(),
+                status: FindingStatus::Suppressed("diagnostic-only path".to_string()),
+            }],
+            crates_scanned: 1,
+            files_scanned: 1,
+            metrics_doc: String::new(),
+            panic_counts: BTreeMap::new(),
+        };
+        assert!(render(&report).contains("\"level\": \"none\""));
+    }
+}

@@ -1,0 +1,302 @@
+//! The whole-workspace model the audit analyses run over.
+//!
+//! One scan pass builds everything every analysis needs: the crate set
+//! (root package, `crates/*`, `xtask`; `vendor/` is external code and
+//! excluded), each crate's manifest with its *internal* `[dependencies]`
+//! edges resolved to crate directory names, and every `src/**.rs` file
+//! parsed through the lint scanner so analyses see scrubbed code lines,
+//! test-region marks and `ripq-lint: allow(...)` suppressions for free.
+
+use crate::lint::source::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One internal dependency edge declared in a crate manifest.
+#[derive(Debug)]
+pub struct ManifestDep {
+    /// Target crate, as a workspace directory name (`core`, `sim`, …).
+    pub target: String,
+    /// 1-based line of the dependency entry in the manifest.
+    pub line: usize,
+}
+
+/// One `ripq_*::` reference found in a crate's non-test source code.
+#[derive(Debug)]
+pub struct UseEdge {
+    /// Referenced crate, as a workspace directory name.
+    pub target: String,
+    /// Workspace-relative path of the referencing file.
+    pub file: String,
+    /// 1-based line of the first reference.
+    pub line: usize,
+    /// 1-based byte column of the first reference.
+    pub col: usize,
+}
+
+/// One scanned source file.
+#[derive(Debug)]
+pub struct AuditFile {
+    /// Workspace-relative path (unix separators).
+    pub rel: String,
+    /// The lint-scanner parse: scrubbed code, comments, test regions,
+    /// suppressions.
+    pub src: SourceFile,
+}
+
+/// One workspace crate with everything the analyses need.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Directory name used for identity (`core`, `pf`, …; the root
+    /// package is `.`, the automation crate `xtask`).
+    pub name: String,
+    /// Workspace-relative manifest path.
+    pub manifest_rel: String,
+    /// Internal `[dependencies]` edges (dev-dependencies are ignored:
+    /// layering constrains the runtime graph, and cargo itself allows
+    /// dev-dep cycles).
+    pub deps: Vec<ManifestDep>,
+    /// Parsed `src/**.rs` files, sorted by path.
+    pub files: Vec<AuditFile>,
+}
+
+/// The scanned workspace.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Crates in deterministic (directory-name) order, root first.
+    pub crates: Vec<CrateInfo>,
+    /// Total `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Normalizes a manifest dependency key or `ripq_x` path segment to a
+/// workspace directory name: strips the `ripq-`/`ripq_` prefix and maps
+/// `_` to `-` the way cargo does (our crate dirs use plain names).
+fn normalize_crate_key(key: &str) -> String {
+    let key = key.replace('_', "-");
+    key.strip_prefix("ripq-").unwrap_or(&key).to_string()
+}
+
+/// Extracts internal dependency edges from one manifest. `dirs` is the
+/// set of workspace crate directory names used to decide "internal".
+fn manifest_internal_deps(manifest: &str, dirs: &[String]) -> Vec<ManifestDep> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for (idx, raw) in manifest.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() {
+            continue;
+        }
+        let Some(key) = line
+            .split(|c: char| c == '.' || c == '=' || c.is_whitespace())
+            .next()
+            .filter(|k| !k.is_empty())
+        else {
+            continue;
+        };
+        let mut target = normalize_crate_key(key);
+        // `foo = { path = "../sim" }` style: resolve by path when the key
+        // itself is not an internal name (fixture workspaces use this).
+        if !dirs.contains(&target) {
+            if let Some(path) = line.split("path").nth(1).and_then(|rest| {
+                let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+                rest.strip_prefix('"')?.split('"').next()
+            }) {
+                if let Some(last) = path.rsplit('/').next() {
+                    target = normalize_crate_key(last);
+                }
+            }
+        }
+        if dirs.contains(&target) {
+            deps.push(ManifestDep {
+                target,
+                line: idx + 1,
+            });
+        }
+    }
+    deps
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+fn rel_unix(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Scans the workspace rooted at `root`.
+pub fn scan(root: &Path) -> Result<Workspace, String> {
+    // Enumerate crate directories first so manifest parsing can resolve
+    // internal dep keys against the full set.
+    let mut entries: Vec<(String, PathBuf)> = Vec::new();
+    let root_manifest_path = root.join("Cargo.toml");
+    let root_manifest = fs::read_to_string(&root_manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", root_manifest_path.display()))?;
+    if root_manifest.lines().any(|l| l.trim() == "[package]") {
+        entries.push((".".to_string(), PathBuf::new()));
+    }
+    let crates_dir = root.join("crates");
+    if let Ok(dir) = fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<_> = dir
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir() && p.join("Cargo.toml").exists())
+            .collect();
+        dirs.sort();
+        for d in dirs {
+            let name = d
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            entries.push((
+                name,
+                PathBuf::from("crates").join(d.file_name().unwrap_or_default()),
+            ));
+        }
+    }
+    if root.join("xtask/Cargo.toml").exists() {
+        entries.push(("xtask".to_string(), PathBuf::from("xtask")));
+    }
+    let dirs: Vec<String> = entries.iter().map(|(n, _)| n.clone()).collect();
+
+    let mut crates = Vec::new();
+    let mut files_scanned = 0usize;
+    for (name, dir) in entries {
+        let crate_dir = root.join(&dir);
+        let manifest_path = crate_dir.join("Cargo.toml");
+        let manifest = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let deps = manifest_internal_deps(&manifest, &dirs);
+        let mut files = Vec::new();
+        for path in rust_files(&crate_dir.join("src")) {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            files.push(AuditFile {
+                rel: rel_unix(root, &path),
+                src: SourceFile::parse(&text),
+            });
+            files_scanned += 1;
+        }
+        crates.push(CrateInfo {
+            name,
+            manifest_rel: rel_unix(root, &manifest_path),
+            deps,
+            files,
+        });
+    }
+    Ok(Workspace {
+        crates,
+        files_scanned,
+    })
+}
+
+impl CrateInfo {
+    /// Collects `ripq_*::` references in this crate's non-test code —
+    /// one edge per referenced crate, anchored at the first reference.
+    /// References to the crate itself are ignored.
+    pub fn use_edges(&self, dirs: &[String]) -> Vec<UseEdge> {
+        let mut edges: Vec<UseEdge> = Vec::new();
+        for file in &self.files {
+            for (idx, line) in file.src.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                let code = &line.code;
+                let bytes = code.as_bytes();
+                let mut from = 0;
+                while let Some(rel) = code[from..].find("ripq_") {
+                    let start = from + rel;
+                    let boundary = start == 0
+                        || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+                    let mut end = start;
+                    while end < bytes.len()
+                        && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    from = end.max(start + 1);
+                    if !boundary {
+                        continue;
+                    }
+                    let target = normalize_crate_key(&code[start..end]);
+                    if target == self.name || !dirs.contains(&target) {
+                        continue;
+                    }
+                    if !edges.iter().any(|e| e.target == target) {
+                        edges.push(UseEdge {
+                            target,
+                            file: file.rel.clone(),
+                            line: idx + 1,
+                            col: start + 1,
+                        });
+                    }
+                }
+            }
+        }
+        edges.sort_by(|a, b| a.target.cmp(&b.target));
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_deps_resolve_workspace_keys_and_paths() {
+        let dirs = vec!["core".to_string(), "sim".to_string(), "geom".to_string()];
+        let manifest = "[package]\nname = \"x\"\n[dependencies]\n\
+                        ripq-geom.workspace = true\n\
+                        ripq-core = { path = \"../core\" }\n\
+                        fixture-sim = { path = \"../sim\" }\n\
+                        serde.workspace = true\n\
+                        [dev-dependencies]\nripq-sim.workspace = true\n";
+        let deps = manifest_internal_deps(manifest, &dirs);
+        let targets: Vec<&str> = deps.iter().map(|d| d.target.as_str()).collect();
+        assert_eq!(targets, ["geom", "core", "sim"], "dev-deps excluded");
+    }
+
+    #[test]
+    fn use_edges_find_first_reference_outside_tests() {
+        let dirs = vec!["graph".to_string(), "obs".to_string()];
+        let info = CrateInfo {
+            name: "obs".to_string(),
+            manifest_rel: "crates/obs/Cargo.toml".to_string(),
+            deps: Vec::new(),
+            files: vec![AuditFile {
+                rel: "crates/obs/src/lib.rs".to_string(),
+                src: SourceFile::parse(
+                    "// ripq_graph in a comment does not count\n\
+                     use ripq_obs::x; // self-reference: ignored\n\
+                     let g = ripq_graph::Graph::new();\n\
+                     #[cfg(test)]\nmod t { use ripq_graph::Graph; }\n",
+                ),
+            }],
+        };
+        let edges = info.use_edges(&dirs);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].target, "graph");
+        assert_eq!(edges[0].line, 3);
+    }
+}

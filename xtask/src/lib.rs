@@ -5,16 +5,24 @@
 //! Rust programs instead of shell scripts, wired up through a `.cargo/config.toml`
 //! alias so no extra tooling has to be installed.
 //!
-//! The only task today is [`lint`] — a repo-specific static-analysis gate
-//! that machine-enforces the invariants RIPQ's determinism and robustness
-//! guarantees rest on (no ambient randomness or wall clocks in library
-//! code, no unordered hash iteration in result paths, no panic paths, crate
-//! hygiene, probability hygiene). See `DESIGN.md` for the rule catalogue
-//! and the rationale behind each rule.
+//! Two static-analysis gates live here:
+//!
+//! * [`lint`] — per-file token-level rules (R1–R6) that machine-enforce
+//!   the invariants RIPQ's determinism and robustness guarantees rest on
+//!   (no ambient randomness or wall clocks in library code, no unordered
+//!   hash iteration in result paths, no panic paths, crate hygiene,
+//!   probability hygiene);
+//! * [`audit`] — whole-workspace structural analyses (A1–A4): the crate
+//!   layering DAG, metrics-registry drift, determinism taint, and the
+//!   panic-surface ratchet.
+//!
+//! See `DESIGN.md` for both catalogues and the rationale behind each
+//! rule/analysis.
 //!
 //! The crate is deliberately dependency-free (the build is hermetic and
 //! vendored) and exposes its whole engine as a library so the tier-1 test
 //! suite can run the gate in-process (`tests/lint_gate.rs` at the
 //! workspace root) without shelling out to cargo.
 
+pub mod audit;
 pub mod lint;

@@ -118,7 +118,7 @@ fn token_positions(code: &str, token: &str) -> Vec<usize> {
 /// A lexed token: identifier/number text or a punctuation chunk, plus its
 /// byte offset in the line.
 #[derive(Debug, PartialEq)]
-enum Tok<'a> {
+pub(crate) enum Tok<'a> {
     Ident(&'a str, usize),
     Num(&'a str, usize),
     Punct(&'a str, usize),
@@ -126,8 +126,8 @@ enum Tok<'a> {
 
 /// Lexes one scrubbed code line into identifier, number and punctuation
 /// tokens. `==` and `!=` are kept as single tokens; every other
-/// punctuation byte stands alone.
-fn lex(code: &str) -> Vec<Tok<'_>> {
+/// punctuation byte stands alone. Shared with the `audit` analyses.
+pub(crate) fn lex(code: &str) -> Vec<Tok<'_>> {
     let bytes = code.as_bytes();
     let mut toks = Vec::new();
     let mut i = 0;
@@ -233,7 +233,7 @@ const ITER_METHODS: [&str; 8] = [
 /// initializer) *starts* with one of the hash containers. Nested
 /// containers (`Vec<Mutex<HashMap…>>`) are deliberately not collected —
 /// iterating the outer container is order-stable.
-fn hash_container_names(file: &SourceFile) -> Vec<String> {
+pub(crate) fn hash_container_names(file: &SourceFile) -> Vec<String> {
     let mut names = Vec::new();
     for line in &file.lines {
         let toks = lex(&line.code);
@@ -264,7 +264,7 @@ fn hash_container_names(file: &SourceFile) -> Vec<String> {
 
 /// Does any of the lines `i..i+window` contain an explicit reordering
 /// (sort call or collection into an ordered container)?
-fn sorted_nearby(file: &SourceFile, idx: usize) -> bool {
+pub(crate) fn sorted_nearby(file: &SourceFile, idx: usize) -> bool {
     file.lines[idx..file.lines.len().min(idx + 3)]
         .iter()
         .any(|l| {

@@ -1,0 +1,173 @@
+//! End-to-end fixture coverage for the audit gate: every analysis must
+//! FIRE on the `ws_fire` fixture workspace and stay QUIET on `ws_quiet`
+//! (with the one reasoned A3 suppression recorded, not dropped), and all
+//! renderings must be byte-deterministic.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use xtask::audit::{self, AuditOptions, FindingStatus, Severity};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(name: &str) -> audit::AuditReport {
+    audit::run(&fixture_root(name), AuditOptions::default()).expect("audit pass runs")
+}
+
+#[test]
+fn every_analysis_fires_on_the_fire_workspace() {
+    let report = run("ws_fire");
+    let mut by_analysis: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in report.gate_failures() {
+        *by_analysis.entry(f.analysis.id()).or_insert(0) += 1;
+    }
+    // A1: unknown crate (ckpt) + core→sim→core cycle + forbidden
+    // manifest edge core→sim + undeclared ripq_graph reference in sim.
+    assert_eq!(by_analysis.get("A1"), Some(&4), "{by_analysis:?}");
+    // A2: typo'd `colector.detections` + undocumented `pf.unlisted_metric`
+    // + kind-mismatched `cache.entries` + ghost fixture pin + two dead
+    // registry entries.
+    assert_eq!(by_analysis.get("A2"), Some(&6), "{by_analysis:?}");
+    // A3: the seeded hash walk in the sim fixture.
+    assert_eq!(by_analysis.get("A3"), Some(&1), "{by_analysis:?}");
+    // A4: core regression + stale `legacy` entry (the ckpt shrink is a
+    // note, not an error).
+    assert_eq!(by_analysis.get("A4"), Some(&2), "{by_analysis:?}");
+
+    let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    let has = |needle: &str| messages.iter().any(|m| m.contains(needle));
+
+    // A1 specifics: the cycle path is canonical, the forbidden edge names
+    // the engine/simulator invariant, the undeclared edge points at the
+    // manifest fix.
+    assert!(has("dependency cycle: core → sim → core"), "{messages:#?}");
+    assert!(has("must never depend on the simulator"), "{messages:#?}");
+    assert!(
+        has("references `ripq_graph` but the manifest declares no such dependency"),
+        "{messages:#?}"
+    );
+    assert!(
+        has("crate `ckpt` is not in the layering spec"),
+        "{messages:#?}"
+    );
+
+    // A2 specifics: the typo gets a did-you-mean, the dead entries anchor
+    // in the registry file, the fixture ghost is called out.
+    assert!(has("did you mean `collector.detections`?"), "{messages:#?}");
+    assert!(
+        has("registered as a gauge but recorded here as a histogram"),
+        "{messages:#?}"
+    );
+    assert!(
+        has("dead registry entry `sim.dead_metric`"),
+        "{messages:#?}"
+    );
+    assert!(
+        has("golden fixture pins instrument `oracle.ghost`"),
+        "{messages:#?}"
+    );
+
+    // A3 names the tainted function and the float-accumulation hazard.
+    assert!(
+        has("fn `jitter_total` touches RNG/seed state"),
+        "{messages:#?}"
+    );
+    assert!(has("float-accumulates"), "{messages:#?}");
+
+    // A4: regression is an error, shrink is a note, stale entry named.
+    assert!(
+        has("ratchet regression in `core`: unwrap 0 → 1"),
+        "{messages:#?}"
+    );
+    assert!(
+        has("stale ratchet baseline entry `legacy`"),
+        "{messages:#?}"
+    );
+    assert!(
+        report
+            .notes()
+            .any(|f| f.message.contains("panic surface of `ckpt` shrank (1 → 0)")),
+        "shrink must be a note inviting a ratchet tightening"
+    );
+    // Missing docs/METRICS.md is drift — a note outside --check mode.
+    assert!(
+        report
+            .notes()
+            .any(|f| f.message.contains("docs/METRICS.md has drifted")),
+        "doc drift note expected"
+    );
+
+    // Nothing in the fire fixture is suppressed.
+    let (_, _, suppressed) = report.counts();
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn check_mode_escalates_doc_drift_to_error() {
+    let report = audit::run(&fixture_root("ws_fire"), AuditOptions { check: true })
+        .expect("audit pass runs");
+    assert!(
+        report
+            .gate_failures()
+            .any(|f| f.message.contains("docs/METRICS.md has drifted")),
+        "--check must turn doc drift into a gate failure"
+    );
+}
+
+#[test]
+fn quiet_workspace_passes_with_the_reasoned_suppression_recorded() {
+    let report = run("ws_quiet");
+    let active: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.status == FindingStatus::Active)
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.analysis.id(), f.message))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "unexpected active findings:\n{active:#?}"
+    );
+    let suppressed: Vec<&audit::Finding> = report
+        .findings
+        .iter()
+        .filter(|f| matches!(f.status, FindingStatus::Suppressed(_)))
+        .collect();
+    assert_eq!(suppressed.len(), 1, "exactly the sanctioned A3 walk");
+    assert_eq!(suppressed[0].analysis.id(), "A3");
+    assert_eq!(suppressed[0].severity, Severity::Error);
+    match &suppressed[0].status {
+        FindingStatus::Suppressed(reason) => {
+            assert!(reason.contains("fixture"), "{reason}");
+        }
+        other => panic!("expected suppressed, got {other:?}"),
+    }
+}
+
+#[test]
+fn renderings_are_deterministic_and_carry_the_findings() {
+    let a = run("ws_fire");
+    let b = run("ws_fire");
+    assert_eq!(a.render_text(), b.render_text());
+    assert_eq!(a.render_json(), b.render_json());
+    assert_eq!(a.render_sarif(), b.render_sarif());
+
+    let text = a.render_text();
+    assert!(text.contains("error[A1/layering]"), "{text}");
+    assert!(text.contains("error[A4/panic-ratchet]"), "{text}");
+    assert!(text.contains("files scanned"), "{text}");
+
+    let json = a.render_json();
+    assert!(json.contains("\"findings\""), "{json}");
+    assert!(json.contains("\"analysis\": \"A2\""), "{json}");
+    assert!(json.contains("\"errors\": 13"), "{json}");
+    xtask::audit::json::parse(&json).expect("report JSON parses");
+
+    let sarif = a.render_sarif();
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"A3\""), "{sarif}");
+    assert!(sarif.contains("ripq-audit"), "{sarif}");
+    xtask::audit::json::parse(&sarif).expect("SARIF parses as JSON");
+}

@@ -1,8 +1,12 @@
 //! Fire fixture: an obs-style span recorder that reads the wall clock
 //! directly instead of taking a caller-measured `Duration`. Metrics code
 //! is result-producing here (snapshots must be bit-identical under
-//! logical timing), so the raw `Instant::now()` must trip R1. Expected:
-//! R1 ×1, nothing else.
+//! logical timing), so the raw `Instant::now()` must trip R1. The crate
+//! also hosts the metrics-registry drift cases (A2): a typo'd instrument
+//! name, an undocumented one, and a kind mismatch against the fixture
+//! registry in `xtask/metrics_registry.toml`. Expected: R1 ×1, A2
+//! undocumented ×2 / kind-mismatch ×1 (plus the dead entries those
+//! imply in the registry file).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,4 +31,26 @@ impl SpanStat {
         self.total_micros += start.elapsed().as_micros() as u64;
         out
     }
+}
+
+/// Minimal recorder facade so the fixture can exercise instrument-name
+/// extraction without depending on the real obs crate.
+pub struct Recorder;
+
+impl Recorder {
+    /// Registers a counter by name.
+    pub fn counter(&self, _name: &str) {}
+    /// Records one histogram observation by name.
+    pub fn observe(&self, _name: &str, _value: u64) {}
+}
+
+/// Every A2 drift class in three calls: `colector.detections` is one
+/// edit from the registered `collector.detections` (typo → undocumented
+/// with a did-you-mean, and the intended entry goes dead);
+/// `pf.unlisted_metric` is undocumented outright; `cache.entries` is
+/// registered as a gauge but recorded here through the histogram family.
+pub fn record_pass(rec: &Recorder) {
+    rec.counter("colector.detections");
+    rec.counter("pf.unlisted_metric");
+    rec.observe("cache.entries", 7);
 }

@@ -2,10 +2,15 @@
 //! from the ambient OS-entropy generator instead of a seed-derived
 //! stream. Chaos runs must be bit-for-bit replayable, so every fault
 //! decision has to come from `derive_fault_seed`-style streams; the
-//! ambient draw must trip R1. Expected: R1 ×1, nothing else.
+//! ambient draw must trip R1. The crate also carries the audit fire
+//! cases that need a non-result-producing home: an undeclared
+//! `ripq_graph` reference (A1) and a seeded function that walks a hash
+//! map (A3). Expected: R1 ×1, A1 undeclared-edge ×1, A3 ×1.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::collections::HashMap;
 
 /// Decides whether to drop one reading.
 ///
@@ -15,4 +20,24 @@
 pub fn drop_reading(probability: f64) -> bool {
     let mut rng = rand::thread_rng();
     rng.random::<f64>() < probability
+}
+
+/// References the graph crate without a manifest dependency: the audit's
+/// layering analysis must flag the undeclared edge.
+pub fn plan_length() -> usize {
+    ripq_graph::route_len()
+}
+
+/// Seed-derived state consumed while iterating a hash-ordered map: the
+/// iteration order decides how the "stream" advances, so two runs fork —
+/// the exact conjunction the determinism-taint analysis must catch (and
+/// the float accumulation makes the ordering damage visible even without
+/// an RNG draw per element).
+pub fn jitter_total(seed: u64) -> f64 {
+    let jitter: HashMap<u32, f64> = HashMap::new();
+    let mut total = seed as f64;
+    for (_, j) in jitter.iter() {
+        total += j;
+    }
+    total
 }

@@ -1,1 +1,32 @@
-//! Quiet fixture workspace root: nothing to flag.
+//! Quiet fixture workspace root: nothing active to flag. The file
+//! exercises the audit's quiet paths — a registered instrument recorded
+//! under its registered family (A2), and a seeded hash walk sanctioned
+//! with a reasoned suppression (A3 suppressed, not dropped).
+
+use std::collections::HashMap;
+
+/// Minimal recorder facade mirroring the real obs API shape.
+pub struct Recorder;
+
+impl Recorder {
+    /// Registers a counter by name.
+    pub fn counter(&self, _name: &str) {}
+}
+
+/// Records the one instrument the fixture registry documents: A2 quiet.
+pub fn record_pass(rec: &Recorder) {
+    rec.counter("pipeline.ticks");
+}
+
+/// A hash-order walk inside seeded code, sanctioned with a written
+/// reason: the determinism-taint analysis records the suppression
+/// instead of firing.
+pub fn jitter_total(seed: u64) -> u64 {
+    let jitter: HashMap<u32, u64> = HashMap::new();
+    let mut total = seed;
+    // ripq-lint: allow(determinism-taint) -- fixture: diagnostic-only tally, order-independent integer sum
+    for j in jitter.values() {
+        total += j;
+    }
+    total
+}
