@@ -202,7 +202,7 @@ fn render_probe(out: &mut String, p: &BackendProbe) {
     );
 }
 
-/// Runs both backends and renders the `BENCH_7.json` document.
+/// Runs both backends and renders the `BENCH_9.json` document.
 pub fn render_bench_json(scale: Scale) -> String {
     let dijkstra = measure_backend(scale, DistanceBackend::Dijkstra);
     let alt = measure_backend(scale, DistanceBackend::Alt);
@@ -214,7 +214,7 @@ pub fn render_bench_json(scale: Scale) -> String {
         Scale::Quick => "quick",
     };
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"ripq-bench/v1\",\n  \"pr\": 7,\n");
+    out.push_str("{\n  \"schema\": \"ripq-bench/v1\",\n  \"pr\": 9,\n");
     let _ = writeln!(out, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(
         out,
@@ -271,7 +271,7 @@ mod tests {
         let doc = render_bench_json(Scale::Quick);
         for key in [
             "\"schema\": \"ripq-bench/v1\"",
-            "\"pr\": 7",
+            "\"pr\": 9",
             "\"dijkstra\":",
             "\"alt\":",
             "\"wall_ns\"",

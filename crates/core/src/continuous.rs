@@ -7,11 +7,14 @@
 //! (which objects appeared, disappeared, or changed probability) instead
 //! of a full result, which is what monitoring applications consume.
 
-use crate::{evaluate_knn, evaluate_range, KnnQuery, RangeQuery, ResultSet};
+use crate::system::EvaluationReport;
+use crate::{evaluate_knn, evaluate_range, KnnQuery, QueryId, RangeQuery, ResultSet, RipqError};
 use ripq_floorplan::FloorPlan;
+use ripq_geom::{Point2, Rect};
 use ripq_graph::{AnchorObjectIndex, AnchorSet, WalkingGraph};
 use ripq_rfid::ObjectId;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Probability movements below this threshold are not reported as changes.
 pub const CHANGE_EPSILON: f64 = 1e-9;
@@ -34,7 +37,9 @@ impl ResultDelta {
         self.appeared.is_empty() && self.disappeared.is_empty() && self.changed.is_empty()
     }
 
-    fn between(old: &ResultSet, new: &ResultSet) -> ResultDelta {
+    /// Computes the delta that turns `old` into `new`. Output vectors are
+    /// sorted by object id, so a delta renders identically on every run.
+    pub fn between(old: &ResultSet, new: &ResultSet) -> ResultDelta {
         let mut delta = ResultDelta::default();
         for (o, p_new) in new.iter() {
             let p_old = old.probability(o);
@@ -55,6 +60,155 @@ impl ResultDelta {
         delta.disappeared.sort_unstable();
         delta.changed.sort_by_key(|&(o, _, _)| o);
         delta
+    }
+
+    /// Folds this delta into `rs` — the inverse of
+    /// [`ResultDelta::between`]: applying every delta of a run, in order,
+    /// onto an empty set reproduces the latest full result exactly.
+    pub fn apply(&self, rs: &mut ResultSet) {
+        for &(o, p) in &self.appeared {
+            rs.set(o, p);
+        }
+        for &o in &self.disappeared {
+            rs.set(o, 0.0);
+        }
+        for &(o, _, p_new) in &self.changed {
+            rs.set(o, p_new);
+        }
+    }
+}
+
+/// What a continuous subscription watches — enough information to
+/// re-register the underlying query after a restart (queries are
+/// deliberately not part of durable snapshots).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SubscriptionKind {
+    /// A continuous range query over a fixed window.
+    Range(Rect),
+    /// A continuous kNN query anchored at a fixed point.
+    Knn(Point2, usize),
+}
+
+/// One registered continuous subscription: the externally chosen id maps
+/// to the engine-side [`QueryId`] plus the most recent full result.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    /// What the subscription watches.
+    pub kind: SubscriptionKind,
+    /// The engine-side query backing this subscription. May differ
+    /// across process lives (queries are re-registered on recovery); the
+    /// subscription id is the stable external identity.
+    pub query: QueryId,
+    current: ResultSet,
+}
+
+impl Subscription {
+    /// The most recent full result delivered for this subscription.
+    pub fn current(&self) -> &ResultSet {
+        &self.current
+    }
+}
+
+/// The server-facing subscription registry: maps client-chosen
+/// subscription ids to engine queries and computes per-epoch
+/// [`ResultDelta`]s from full [`EvaluationReport`]s.
+///
+/// Unlike [`ContinuousEngine`] — which owns its queries and re-evaluates
+/// them against a raw index — the registry rides on queries registered
+/// with an [`crate::IndoorQuerySystem`], so candidate pruning and degraded
+/// evaluation apply to continuous queries exactly as to snapshot ones.
+#[derive(Debug, Default)]
+pub struct SubscriptionRegistry {
+    subs: BTreeMap<u64, Subscription>,
+}
+
+impl SubscriptionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers subscription `sub` as watching `kind` through engine
+    /// query `query`. Fails when the id is already taken.
+    pub fn insert(
+        &mut self,
+        sub: u64,
+        kind: SubscriptionKind,
+        query: QueryId,
+    ) -> Result<(), RipqError> {
+        if self.subs.contains_key(&sub) {
+            return Err(RipqError::DuplicateSubscription(sub));
+        }
+        self.subs.insert(
+            sub,
+            Subscription {
+                kind,
+                query,
+                current: ResultSet::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a subscription, returning it (deregister its
+    /// [`Subscription::query`] from the system too).
+    pub fn remove(&mut self, sub: u64) -> Option<Subscription> {
+        self.subs.remove(&sub)
+    }
+
+    /// Looks up a subscription.
+    pub fn get(&self, sub: u64) -> Option<&Subscription> {
+        self.subs.get(&sub)
+    }
+
+    /// Iterates subscriptions in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Subscription)> + '_ {
+        self.subs.iter().map(|(&id, s)| (id, s))
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// `true` when no subscriptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Replaces a subscription's maintained result with checkpointed
+    /// state (recovery support). Returns `false` for unknown ids.
+    pub fn restore_current(&mut self, sub: u64, current: ResultSet) -> bool {
+        match self.subs.get_mut(&sub) {
+            Some(s) => {
+                s.current = current;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Folds one evaluation pass into every subscription: each
+    /// subscription whose backing query answered in `report` advances its
+    /// maintained result and contributes its delta. Returns the non-empty
+    /// deltas in subscription-id order.
+    pub fn deltas(&mut self, report: &EvaluationReport) -> Vec<(u64, ResultDelta)> {
+        let mut out = Vec::new();
+        for (&id, s) in &mut self.subs {
+            let new = report
+                .range_results
+                .get(&s.query)
+                .or_else(|| report.knn_results.get(&s.query));
+            let Some(new) = new else {
+                continue;
+            };
+            let delta = ResultDelta::between(&s.current, new);
+            s.current = new.clone();
+            if !delta.is_empty() {
+                out.push((id, delta));
+            }
+        }
+        out
     }
 }
 
@@ -318,6 +472,59 @@ mod tests {
         assert!(engine.current(crate::QueryId::new(99)).is_none());
         // Validation errors propagate.
         assert!(engine.add_knn(ripq_geom::Point2::ORIGIN, 0).is_err());
+    }
+
+    #[test]
+    fn deltas_fold_back_into_the_full_result() {
+        let old: ResultSet = [(o(1), 0.5), (o(2), 0.5)].into_iter().collect();
+        let new: ResultSet = [(o(2), 0.8), (o(3), 0.2)].into_iter().collect();
+        let d = ResultDelta::between(&old, &new);
+        let mut folded = old.clone();
+        d.apply(&mut folded);
+        assert_eq!(folded, new);
+        // From empty through both states.
+        let mut from_empty = ResultSet::new();
+        ResultDelta::between(&ResultSet::new(), &old).apply(&mut from_empty);
+        d.apply(&mut from_empty);
+        assert_eq!(from_empty, new);
+    }
+
+    #[test]
+    fn subscription_registry_maps_reports_to_deltas() {
+        use crate::{IndoorQuerySystem, SystemConfig};
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut sys = IndoorQuerySystem::new(plan, SystemConfig::default(), 7);
+        let reader = sys.readers()[2];
+        for s in 0..3u64 {
+            sys.ingest_detections(s, &[(o(0), reader.id())]);
+        }
+        let window = ripq_geom::Rect::centered(reader.position(), 10.0, 6.0);
+        let qid = sys.register_range(window).unwrap();
+        let mut reg = SubscriptionRegistry::new();
+        reg.insert(7, SubscriptionKind::Range(window), qid).unwrap();
+        assert_eq!(
+            reg.insert(7, SubscriptionKind::Range(window), qid),
+            Err(RipqError::DuplicateSubscription(7))
+        );
+        assert_eq!(reg.len(), 1);
+
+        let report = sys.evaluate(3);
+        let deltas = reg.deltas(&report);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].0, 7);
+        assert!(!deltas[0].1.appeared.is_empty());
+        assert_eq!(reg.get(7).unwrap().current(), &report.range_results[&qid]);
+
+        // Same state again: no deltas.
+        let report2 = sys.evaluate(3);
+        assert!(reg.deltas(&report2).is_empty());
+
+        // Removal hands back the subscription for query deregistration.
+        let s = reg.remove(7).unwrap();
+        assert_eq!(s.query, qid);
+        assert!(reg.is_empty());
+        assert!(reg.remove(7).is_none());
+        assert!(!reg.restore_current(7, ResultSet::new()));
     }
 
     #[test]

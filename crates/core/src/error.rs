@@ -23,6 +23,8 @@ pub enum RipqError {
     /// An input/output operation failed (e.g. writing a metrics snapshot
     /// to disk). Carries the rendered underlying error.
     Io(String),
+    /// A continuous-query subscription id was registered twice.
+    DuplicateSubscription(u64),
 }
 
 /// Historical name of [`RipqError`], kept for downstream source
@@ -42,6 +44,9 @@ impl fmt::Display for RipqError {
                 write!(f, "index views disagree about object {obj}")
             }
             RipqError::Io(msg) => write!(f, "io error: {msg}"),
+            RipqError::DuplicateSubscription(id) => {
+                write!(f, "subscription id {id} is already registered")
+            }
         }
     }
 }
@@ -61,6 +66,9 @@ mod tests {
         assert!(RipqError::Io("denied".into())
             .to_string()
             .contains("io error: denied"));
+        assert!(RipqError::DuplicateSubscription(4)
+            .to_string()
+            .contains('4'));
     }
 
     #[test]

@@ -43,6 +43,18 @@ impl ResultSet {
         }
     }
 
+    /// Sets `object`'s probability exactly, removing the entry at zero —
+    /// the fold operation continuous-query deltas are replayed with (see
+    /// [`crate::continuous::ResultDelta::apply`]).
+    pub fn set(&mut self, object: ObjectId, p: f64) {
+        // ripq-lint: allow(prob-hygiene) -- exact zero is the absent-object sentinel, not a float tolerance
+        if p == 0.0 {
+            self.probs.remove(&object);
+        } else {
+            self.probs.insert(object, p);
+        }
+    }
+
     /// Merges another result set (used for the per-cell partial results).
     pub fn merge(&mut self, other: &ResultSet) {
         for (&o, &p) in &other.probs {

@@ -1,0 +1,258 @@
+//! The server's durable sidecar snapshot, `server.ckpt`.
+//!
+//! `system.ckpt` (written by `ripq-core`) restores the pipeline —
+//! collector, cache, RNG, metrics — but deliberately not queries. The
+//! daemon's own continuity lives here: how many transcript frames were
+//! fully processed, how many response lines were emitted, the open
+//! subscriptions with their maintained results (exact f64 bit patterns),
+//! and the unseen-alert arming state. Together the two files let a
+//! restarted server resume the delta stream byte-exactly where the
+//! previous life checkpointed.
+
+use ripq_core::continuous::{SubscriptionKind, SubscriptionRegistry};
+use ripq_core::ResultSet;
+use ripq_geom::{Point2, Rect};
+use ripq_persist::{
+    load_snapshot, quarantine, seal_snapshot, write_atomic, ByteReader, ByteWriter, PersistError,
+};
+use ripq_rfid::ObjectId;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Sidecar format version.
+const VERSION: u8 = 1;
+
+/// `<dir>/server.ckpt`.
+pub fn sidecar_path(dir: &Path) -> PathBuf {
+    dir.join("server.ckpt")
+}
+
+/// The server-side state a sidecar carries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SidecarState {
+    /// Frames fully processed when the snapshot was taken. On resume the
+    /// replay driver skips exactly this many transcript frames.
+    pub frames_processed: u64,
+    /// Response lines emitted so far — the offset into the golden output
+    /// at which the resumed stream continues.
+    pub lines_emitted: u64,
+    /// The last tick second evaluated, if any.
+    pub last_tick: Option<u64>,
+    /// Objects whose unseen-alert already fired this silent episode.
+    pub unseen_alerted: BTreeSet<ObjectId>,
+    /// Open subscriptions: `(sub id, kind, maintained result)`, id-ordered.
+    pub subscriptions: Vec<(u64, SubscriptionKind, ResultSet)>,
+}
+
+impl SidecarState {
+    /// Captures the sidecar state from live server components.
+    pub fn capture(
+        frames_processed: u64,
+        lines_emitted: u64,
+        last_tick: Option<u64>,
+        unseen_alerted: &BTreeSet<ObjectId>,
+        registry: &SubscriptionRegistry,
+    ) -> Self {
+        SidecarState {
+            frames_processed,
+            lines_emitted,
+            last_tick,
+            unseen_alerted: unseen_alerted.clone(),
+            subscriptions: registry
+                .iter()
+                .map(|(id, s)| (id, s.kind, s.current().clone()))
+                .collect(),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(VERSION);
+        w.put_u64(self.frames_processed);
+        w.put_u64(self.lines_emitted);
+        w.put_opt_u64(self.last_tick);
+        w.put_seq_len(self.unseen_alerted.len());
+        for o in &self.unseen_alerted {
+            w.put_u32(o.raw());
+        }
+        w.put_seq_len(self.subscriptions.len());
+        for (sub, kind, current) in &self.subscriptions {
+            w.put_u64(*sub);
+            match kind {
+                SubscriptionKind::Range(r) => {
+                    w.put_u8(0);
+                    w.put_f64(r.min().x);
+                    w.put_f64(r.min().y);
+                    w.put_f64(r.width());
+                    w.put_f64(r.height());
+                }
+                SubscriptionKind::Knn(point, k) => {
+                    w.put_u8(1);
+                    w.put_f64(point.x);
+                    w.put_f64(point.y);
+                    w.put_u64(*k as u64);
+                }
+            }
+            w.put_seq_len(current.len());
+            for (o, pr) in current.iter() {
+                w.put_u32(o.raw());
+                w.put_u64(pr.to_bits());
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, PersistError> {
+        let mut r = ByteReader::new(payload);
+        if r.get_u8()? != VERSION {
+            return Err(PersistError::Torn);
+        }
+        let frames_processed = r.get_u64()?;
+        let lines_emitted = r.get_u64()?;
+        let last_tick = r.get_opt_u64()?;
+        let n_alerted = r.get_seq_len(4)?;
+        let mut unseen_alerted = BTreeSet::new();
+        for _ in 0..n_alerted {
+            unseen_alerted.insert(ObjectId::new(r.get_u32()?));
+        }
+        let n_subs = r.get_seq_len(9)?;
+        let mut subscriptions = Vec::with_capacity(n_subs);
+        for _ in 0..n_subs {
+            let sub = r.get_u64()?;
+            let kind = match r.get_u8()? {
+                0 => {
+                    let x = r.get_f64()?;
+                    let y = r.get_f64()?;
+                    let w = r.get_f64()?;
+                    let h = r.get_f64()?;
+                    if !(w >= 0.0 && h >= 0.0) {
+                        return Err(PersistError::Torn);
+                    }
+                    SubscriptionKind::Range(Rect::new(x, y, w, h))
+                }
+                1 => {
+                    let x = r.get_f64()?;
+                    let y = r.get_f64()?;
+                    let k = r.get_u64()? as usize;
+                    SubscriptionKind::Knn(Point2::new(x, y), k)
+                }
+                _ => return Err(PersistError::Torn),
+            };
+            let n_current = r.get_seq_len(12)?;
+            let mut current = ResultSet::new();
+            for _ in 0..n_current {
+                let o = ObjectId::new(r.get_u32()?);
+                current.set(o, f64::from_bits(r.get_u64()?));
+            }
+            subscriptions.push((sub, kind, current));
+        }
+        if r.remaining() != 0 {
+            return Err(PersistError::Torn);
+        }
+        Ok(SidecarState {
+            frames_processed,
+            lines_emitted,
+            last_tick,
+            unseen_alerted,
+            subscriptions,
+        })
+    }
+
+    /// Writes the sidecar atomically (temp file, fsync, rename) with the
+    /// workspace's CRC-sealed snapshot framing.
+    pub fn save(&self, dir: &Path) -> Result<(), PersistError> {
+        let framed = seal_snapshot(&self.encode());
+        write_atomic(&sidecar_path(dir), &framed)
+    }
+
+    /// Loads a sidecar. `Missing` and corruption flow through as
+    /// [`PersistError`]s; callers quarantine via [`quarantine_sidecar`].
+    pub fn load(dir: &Path) -> Result<Self, PersistError> {
+        let payload = load_snapshot(&sidecar_path(dir))?;
+        Self::decode(&payload)
+    }
+}
+
+/// Moves a damaged sidecar aside (`server.ckpt.corrupt`), returning the
+/// new path.
+pub fn quarantine_sidecar(dir: &Path) -> Result<PathBuf, PersistError> {
+    quarantine(&sidecar_path(dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ripq_server_ckpt_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> SidecarState {
+        let mut current = ResultSet::new();
+        current.set(ObjectId::new(3), 0.625);
+        current.set(ObjectId::new(9), 0.375);
+        SidecarState {
+            frames_processed: 41,
+            lines_emitted: 107,
+            last_tick: Some(30),
+            unseen_alerted: [ObjectId::new(2)].into_iter().collect(),
+            subscriptions: vec![
+                (
+                    1,
+                    SubscriptionKind::Range(Rect::new(0.0, 1.0, 8.0, 4.0)),
+                    current,
+                ),
+                (
+                    5,
+                    SubscriptionKind::Knn(Point2::new(2.5, 3.5), 2),
+                    ResultSet::new(),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let state = sample();
+        state.save(&dir).unwrap();
+        let loaded = SidecarState::load(&dir).unwrap();
+        assert_eq!(loaded, state);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_damaged_sidecars_report_cleanly() {
+        let dir = temp_dir("damage");
+        assert!(matches!(
+            SidecarState::load(&dir),
+            Err(PersistError::Missing)
+        ));
+        sample().save(&dir).unwrap();
+        let path = sidecar_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(SidecarState::load(&dir).is_err());
+        let moved = quarantine_sidecar(&dir).unwrap();
+        assert!(moved.exists());
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_and_trailing_bytes_are_rejected() {
+        let state = sample();
+        let mut bytes = state.encode();
+        assert!(SidecarState::decode(&bytes).is_ok());
+        bytes.push(0);
+        assert!(SidecarState::decode(&bytes).is_err(), "trailing bytes");
+        let mut wrong = state.encode();
+        wrong[0] = VERSION + 1;
+        assert!(SidecarState::decode(&wrong).is_err(), "future version");
+    }
+}

@@ -1,0 +1,702 @@
+//! The deterministic server engine: frames in, response lines out.
+//!
+//! `ServerCore` is the whole daemon minus IO. It consumes decoded frame
+//! payloads (or raw stream bytes via its embedded [`FrameDecoder`]) and
+//! produces response frames as strings, in order. Because it never reads
+//! a clock, never touches thread-dependent state and drives the
+//! `IndoorQuerySystem` under logical timing, the full response stream is
+//! a pure function of the input frame sequence — the transcript-replay
+//! tests byte-compare it across runs and worker counts.
+
+use crate::checkpoint::{quarantine_sidecar, SidecarState};
+use crate::executor::{Executor, FrameExecutor, ServerEvent};
+use crate::frame::FrameDecoder;
+use crate::protocol::{parse_request, render_delta, render_error, render_ok, Request};
+use ripq_core::clock::TimingMode;
+use ripq_core::continuous::{SubscriptionKind, SubscriptionRegistry};
+use ripq_core::{IndoorQuerySystem, Recorder, RecoveryOutcome, RipqError, SystemConfig};
+use ripq_floorplan::FloorPlan;
+use ripq_persist::PersistError;
+use ripq_rfid::ObjectId;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Server behavior knobs. Everything else — timing, observability —
+/// is pinned to the deterministic settings the replay contract needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Master seed for the underlying system's stochastic machinery.
+    pub seed: u64,
+    /// Worker threads for particle-filter preprocessing; results are
+    /// bit-identical for every setting.
+    pub workers: Option<usize>,
+    /// Write a durable checkpoint after every N ticks (0 = only on
+    /// explicit `checkpoint` frames). Needs a checkpoint directory.
+    pub checkpoint_every_ticks: u64,
+    /// Seconds of reader silence after which an object fires
+    /// [`ServerEvent::ObjectUnseen`] (re-armed by re-detection).
+    pub unseen_after: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            seed: 7,
+            workers: None,
+            checkpoint_every_ticks: 0,
+            unseen_after: 60,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The pinned system configuration this server runs: logical timing
+    /// and observability on (both required for byte-stable replay),
+    /// parallelism from [`ServerConfig::workers`].
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig {
+            timing: TimingMode::Logical,
+            observability: true,
+            parallelism: self.workers,
+            // The server owns checkpoint cadence (per tick, via
+            // `checkpoint_every_ticks`); the facade's per-second
+            // auto-checkpoint stays off so the two never interleave.
+            checkpoint_every: 0,
+            ..SystemConfig::default()
+        }
+    }
+}
+
+/// How a [`ServerCore::recover`] call concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerRecovery {
+    /// No snapshot existed; the server starts fresh.
+    ColdStart,
+    /// Both `system.ckpt` and `server.ckpt` restored. The replay driver
+    /// skips `skip_frames` input frames; the resumed response stream
+    /// continues at line `lines_emitted` of the uninterrupted output.
+    Resumed {
+        /// Input frames already covered by the snapshot.
+        skip_frames: u64,
+        /// Response lines already emitted before the snapshot.
+        lines_emitted: u64,
+    },
+    /// A damaged snapshot was moved aside. The core's state is not
+    /// usable for resumption — discard it and build a fresh one.
+    Quarantined {
+        /// Where the damaged file went.
+        path: PathBuf,
+    },
+}
+
+/// The deterministic, IO-free server engine.
+pub struct ServerCore {
+    system: IndoorQuerySystem,
+    registry: SubscriptionRegistry,
+    executors: Vec<Box<dyn Executor>>,
+    recorder: Recorder,
+    decoder: FrameDecoder,
+    config: ServerConfig,
+    checkpoint_dir: Option<PathBuf>,
+    unseen_alerted: BTreeSet<ObjectId>,
+    frames_processed: u64,
+    lines_emitted: u64,
+    last_tick: Option<u64>,
+    ticks_since_checkpoint: u64,
+    auto_checkpoint_due: bool,
+    last_checkpoint_error: Option<String>,
+    shutdown: bool,
+}
+
+impl ServerCore {
+    /// Builds a server over `plan` with the built-in [`FrameExecutor`]
+    /// installed (standard event frames).
+    pub fn new(plan: FloorPlan, config: ServerConfig) -> Self {
+        let system = IndoorQuerySystem::new(plan, config.system_config(), config.seed);
+        let recorder = system.recorder().clone();
+        ServerCore {
+            system,
+            registry: SubscriptionRegistry::new(),
+            executors: vec![Box::new(FrameExecutor)],
+            recorder,
+            decoder: FrameDecoder::new(),
+            config,
+            checkpoint_dir: None,
+            unseen_alerted: BTreeSet::new(),
+            frames_processed: 0,
+            lines_emitted: 0,
+            last_tick: None,
+            ticks_since_checkpoint: 0,
+            auto_checkpoint_due: false,
+            last_checkpoint_error: None,
+            shutdown: false,
+        }
+    }
+
+    /// Installs an additional executor (runs after the built-ins, in
+    /// installation order).
+    pub fn push_executor(&mut self, executor: Box<dyn Executor>) {
+        self.executors.push(executor);
+    }
+
+    /// Removes every installed executor (including the built-in frame
+    /// renderer) — for callers that only want delta output.
+    pub fn clear_executors(&mut self) {
+        self.executors.clear();
+    }
+
+    /// Configures where durable snapshots (`system.ckpt` +
+    /// `server.ckpt`) are written.
+    pub fn set_checkpoint_dir(&mut self, dir: impl Into<PathBuf>) {
+        let dir = dir.into();
+        self.system.set_checkpoint_dir(&dir);
+        self.checkpoint_dir = Some(dir);
+    }
+
+    /// The underlying query system (read access).
+    pub fn system(&self) -> &IndoorQuerySystem {
+        &self.system
+    }
+
+    /// Open subscriptions.
+    pub fn subscriptions(&self) -> &SubscriptionRegistry {
+        &self.registry
+    }
+
+    /// Complete input frames handled so far (well-formed or rejected).
+    pub fn frames_processed(&self) -> u64 {
+        self.frames_processed
+    }
+
+    /// Response lines emitted so far.
+    pub fn lines_emitted(&self) -> u64 {
+        self.lines_emitted
+    }
+
+    /// `true` once a `shutdown` frame was acknowledged.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// The rendered error of the most recent failed best-effort
+    /// automatic checkpoint, if any.
+    pub fn last_checkpoint_error(&self) -> Option<&str> {
+        self.last_checkpoint_error.as_deref()
+    }
+
+    /// The current cumulative metrics snapshot as deterministic JSON.
+    pub fn metrics_json(&self) -> String {
+        self.recorder.snapshot().to_json()
+    }
+
+    /// Attempts to restore a previous life from `dir` and makes it the
+    /// checkpoint directory. Call on a freshly built core (no
+    /// subscriptions, no frames handled). See [`ServerRecovery`] for the
+    /// contract; on `Quarantined`, discard this core.
+    pub fn recover(&mut self, dir: impl Into<PathBuf>) -> Result<ServerRecovery, RipqError> {
+        let dir = dir.into();
+        let outcome = self.system.recover(&dir)?;
+        self.checkpoint_dir = Some(dir.clone());
+        match outcome {
+            RecoveryOutcome::ColdStart => Ok(ServerRecovery::ColdStart),
+            RecoveryOutcome::Quarantined { path } => Ok(ServerRecovery::Quarantined { path }),
+            RecoveryOutcome::Resumed { .. } => self.restore_sidecar(&dir),
+        }
+    }
+
+    fn restore_sidecar(&mut self, dir: &Path) -> Result<ServerRecovery, RipqError> {
+        let state = match SidecarState::load(dir) {
+            Ok(state) => state,
+            Err(PersistError::Missing) => {
+                return Err(RipqError::Io(
+                    "system snapshot resumed but server.ckpt is missing".to_string(),
+                ));
+            }
+            Err(_damaged) => {
+                let path = quarantine_sidecar(dir)
+                    .map_err(|e| RipqError::Io(format!("quarantine server.ckpt: {e}")))?;
+                return Ok(ServerRecovery::Quarantined { path });
+            }
+        };
+        // Re-register subscriptions in id order. Engine QueryIds may
+        // differ from the previous life; the subscription id is the
+        // stable identity and results never depend on QueryId values.
+        for (sub, kind, current) in state.subscriptions {
+            let query = match kind {
+                SubscriptionKind::Range(window) => self.system.register_range(window),
+                SubscriptionKind::Knn(point, k) => self.system.register_knn(point, k),
+            }
+            .map_err(|e| RipqError::Io(format!("re-register subscription {sub}: {e}")))?;
+            self.registry
+                .insert(sub, kind, query)
+                .map_err(|e| RipqError::Io(format!("re-register subscription {sub}: {e}")))?;
+            self.registry.restore_current(sub, current);
+        }
+        self.recorder
+            .set_gauge("server.subscriptions_active", self.registry.len() as u64);
+        self.frames_processed = state.frames_processed;
+        self.lines_emitted = state.lines_emitted;
+        self.last_tick = state.last_tick;
+        self.unseen_alerted = state.unseen_alerted;
+        self.ticks_since_checkpoint = 0;
+        Ok(ServerRecovery::Resumed {
+            skip_frames: state.frames_processed,
+            lines_emitted: state.lines_emitted,
+        })
+    }
+
+    /// Feeds raw stream bytes through the embedded frame decoder and
+    /// handles every complete frame. Frame-level errors (oversized,
+    /// empty) become error lines and the decoder resyncs, so one bad
+    /// frame never takes later ones down.
+    pub fn ingest_bytes(&mut self, chunk: &[u8]) -> Vec<String> {
+        self.decoder.push(chunk);
+        let mut out = Vec::new();
+        while !self.shutdown {
+            match self.decoder.next_frame() {
+                None => break,
+                Some(Ok(payload)) => out.extend(self.handle_frame(&payload)),
+                Some(Err(e)) => {
+                    self.recorder.add("server.frames_rejected", 1);
+                    out.push(render_error(&format!("frame error: {e}")));
+                    self.lines_emitted += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Declares end-of-stream on the embedded decoder: a pending partial
+    /// frame becomes a final error line. The decoder is reset afterwards
+    /// so a following stream (next connection) starts clean.
+    pub fn finish_input(&mut self) -> Vec<String> {
+        let out = match self.decoder.finish() {
+            Ok(()) => Vec::new(),
+            Err(e) => {
+                self.recorder.add("server.frames_rejected", 1);
+                self.lines_emitted += 1;
+                vec![render_error(&format!("frame error: {e}"))]
+            }
+        };
+        self.decoder.reset();
+        out
+    }
+
+    /// Handles one complete frame payload and returns its response
+    /// lines. This is the replay entry point: feeding the same payload
+    /// sequence to a fresh core always produces the same lines.
+    pub fn handle_frame(&mut self, payload: &[u8]) -> Vec<String> {
+        let mut out = Vec::new();
+        match parse_request(payload) {
+            Err(message) => {
+                self.recorder.add("server.frames_rejected", 1);
+                out.push(render_error(&message));
+            }
+            Ok(request) => {
+                self.recorder.add("server.frames_ingested", 1);
+                self.dispatch(request, &mut out);
+            }
+        }
+        self.frames_processed += 1;
+        self.lines_emitted += out.len() as u64;
+        if self.auto_checkpoint_due {
+            self.auto_checkpoint_due = false;
+            // Best-effort, after this frame's accounting is final so the
+            // sidecar's offsets point exactly past it.
+            if let Err(e) = self.write_checkpoint(self.frames_processed, self.lines_emitted) {
+                self.recorder.add("server.checkpoint_errors", 1);
+                self.last_checkpoint_error = Some(e.to_string());
+            }
+        }
+        out
+    }
+
+    fn dispatch(&mut self, request: Request, out: &mut Vec<String>) {
+        match request {
+            Request::Readings { second, detections } => {
+                self.system.ingest_detections(second, &detections);
+                out.push(render_ok(
+                    "reading",
+                    &[
+                        ("second", second.to_string()),
+                        ("count", detections.len().to_string()),
+                    ],
+                ));
+            }
+            Request::Raw { second, samples } => {
+                self.system.ingest_raw(second, &samples);
+                out.push(render_ok(
+                    "raw",
+                    &[
+                        ("second", second.to_string()),
+                        ("count", samples.len().to_string()),
+                    ],
+                ));
+            }
+            Request::Subscribe { sub, kind } => self.subscribe(sub, kind, out),
+            Request::Unsubscribe { sub } => match self.registry.remove(sub) {
+                Some(s) => {
+                    let _ = self.system.deregister(s.query);
+                    self.recorder.add("server.subscriptions_closed", 1);
+                    self.recorder
+                        .set_gauge("server.subscriptions_active", self.registry.len() as u64);
+                    out.push(render_ok("unsubscribe", &[("sub", sub.to_string())]));
+                }
+                None => out.push(render_error(&format!("unknown subscription {sub}"))),
+            },
+            Request::Tick { second } => self.tick(second, out),
+            Request::Metrics => out.push(self.metrics_json()),
+            Request::Checkpoint => {
+                // Offsets include this frame and its single ack line —
+                // both success and failure paths emit exactly one.
+                let frames_after = self.frames_processed + 1;
+                let lines_after = self.lines_emitted + out.len() as u64 + 1;
+                match self.write_checkpoint(frames_after, lines_after) {
+                    Ok(()) => out.push(render_ok("checkpoint", &[])),
+                    Err(e) => out.push(render_error(&e.to_string())),
+                }
+            }
+            Request::Shutdown => {
+                self.shutdown = true;
+                out.push(render_ok("shutdown", &[]));
+            }
+        }
+    }
+
+    fn subscribe(&mut self, sub: u64, kind: SubscriptionKind, out: &mut Vec<String>) {
+        let registered = match kind {
+            SubscriptionKind::Range(window) => self.system.register_range(window),
+            SubscriptionKind::Knn(point, k) => self.system.register_knn(point, k),
+        };
+        let query = match registered {
+            Ok(query) => query,
+            Err(e) => {
+                out.push(render_error(&e.to_string()));
+                return;
+            }
+        };
+        match self.registry.insert(sub, kind, query) {
+            Ok(()) => {
+                self.recorder.add("server.subscriptions_opened", 1);
+                self.recorder
+                    .set_gauge("server.subscriptions_active", self.registry.len() as u64);
+                out.push(render_ok("subscribe", &[("sub", sub.to_string())]));
+            }
+            Err(e) => {
+                let _ = self.system.deregister(query);
+                out.push(render_error(&e.to_string()));
+            }
+        }
+    }
+
+    fn tick(&mut self, second: u64, out: &mut Vec<String>) {
+        let report = self.system.evaluate(second);
+        let deltas = self.registry.deltas(&report);
+        let mut events: Vec<ServerEvent> = Vec::new();
+        for (sub, delta) in &deltas {
+            out.push(render_delta(*sub, second, delta));
+            // Geofence semantics apply to range subscriptions: their
+            // window is the fence.
+            let is_range = matches!(
+                self.registry.get(*sub).map(|s| s.kind),
+                Some(SubscriptionKind::Range(_))
+            );
+            if is_range {
+                for (object, _) in &delta.appeared {
+                    events.push(ServerEvent::GeofenceEntered {
+                        sub: *sub,
+                        object: *object,
+                        second,
+                    });
+                }
+                for object in &delta.disappeared {
+                    events.push(ServerEvent::GeofenceLeft {
+                        sub: *sub,
+                        object: *object,
+                        second,
+                    });
+                }
+            }
+        }
+        // Silence detection: one alert per silent episode, re-armed by
+        // any re-detection. Collector iteration is id-ordered, so event
+        // order is stable.
+        let silent: Vec<(ObjectId, u64)> = self
+            .system
+            .collector()
+            .objects()
+            .filter_map(|o| {
+                self.system
+                    .collector()
+                    .last_detection(o)
+                    .map(|(_, last)| (o, last))
+            })
+            .collect();
+        for (object, last_seen) in silent {
+            if second.saturating_sub(last_seen) > self.config.unseen_after {
+                if self.unseen_alerted.insert(object) {
+                    events.push(ServerEvent::ObjectUnseen {
+                        object,
+                        second,
+                        last_seen,
+                    });
+                }
+            } else {
+                self.unseen_alerted.remove(&object);
+            }
+        }
+        self.recorder.add("server.ticks", 1);
+        self.recorder
+            .add("server.deltas_emitted", deltas.len() as u64);
+        self.recorder
+            .add("server.events_fired", events.len() as u64);
+        for event in &events {
+            for executor in &mut self.executors {
+                out.extend(executor.on_event(event));
+            }
+        }
+        out.push(render_ok(
+            "tick",
+            &[
+                ("second", second.to_string()),
+                ("deltas", deltas.len().to_string()),
+                ("events", events.len().to_string()),
+            ],
+        ));
+        self.last_tick = Some(second);
+        if self.config.checkpoint_every_ticks > 0 && self.checkpoint_dir.is_some() {
+            self.ticks_since_checkpoint += 1;
+            if self.ticks_since_checkpoint >= self.config.checkpoint_every_ticks {
+                self.ticks_since_checkpoint = 0;
+                self.auto_checkpoint_due = true;
+            }
+        }
+    }
+
+    /// Writes `system.ckpt` plus the server sidecar, recording the given
+    /// final frame/line offsets in the sidecar.
+    fn write_checkpoint(
+        &mut self,
+        frames_processed: u64,
+        lines_emitted: u64,
+    ) -> Result<(), RipqError> {
+        let Some(dir) = self.checkpoint_dir.clone() else {
+            return Err(RipqError::Io(
+                "no checkpoint directory configured".to_string(),
+            ));
+        };
+        self.system.checkpoint_now()?;
+        SidecarState::capture(
+            frames_processed,
+            lines_emitted,
+            self.last_tick,
+            &self.unseen_alerted,
+            &self.registry,
+        )
+        .save(&dir)
+        .map_err(|e| RipqError::Io(format!("server.ckpt: {e}")))?;
+        self.recorder.add("server.checkpoints_written", 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::CountingExecutor;
+    use crate::frame::encode_frame;
+    use ripq_floorplan::{office_building, OfficeParams};
+
+    fn core() -> ServerCore {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        ServerCore::new(plan, ServerConfig::default())
+    }
+
+    fn one(core: &mut ServerCore, payload: &str) -> Vec<String> {
+        core.handle_frame(payload.as_bytes())
+    }
+
+    #[test]
+    fn reading_subscribe_tick_produces_deltas_and_events() {
+        let mut core = core();
+        let reader = core.system().readers()[2];
+        let window = ripq_geom::Rect::centered(reader.position(), 10.0, 6.0);
+        let sub_frame = format!(
+            "{{\"op\":\"subscribe\",\"sub\":4,\"range\":[{},{},{},{}]}}",
+            window.min().x,
+            window.min().y,
+            window.width(),
+            window.height()
+        );
+        assert_eq!(
+            one(&mut core, &sub_frame),
+            vec!["{\"ok\":\"subscribe\",\"sub\":4}"]
+        );
+        for s in 0..3u64 {
+            let frame = format!(
+                "{{\"op\":\"reading\",\"second\":{s},\"readings\":[[0,{}]]}}",
+                reader.id().raw()
+            );
+            let lines = one(&mut core, &frame);
+            assert_eq!(lines.len(), 1);
+            assert!(lines[0].starts_with("{\"ok\":\"reading\""));
+        }
+        let lines = one(&mut core, "{\"op\":\"tick\",\"second\":3}");
+        // Delta, geofence event, tick ack.
+        assert!(lines[0].starts_with("{\"delta\":{\"sub\":4,"));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"geofence_entered\"")));
+        assert!(lines.last().unwrap().starts_with("{\"ok\":\"tick\""));
+        assert_eq!(core.frames_processed(), 5);
+        assert_eq!(core.lines_emitted() as usize, 4 + lines.len());
+
+        // Unseen alert fires once the object stays silent past 60 s.
+        let lines = one(&mut core, "{\"op\":\"tick\",\"second\":70}");
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"object_unseen\"")));
+        let again = one(&mut core, "{\"op\":\"tick\",\"second\":71}");
+        assert!(
+            !again.iter().any(|l| l.contains("object_unseen")),
+            "one alert per silent episode: {again:?}"
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_worker_counts() {
+        let reader_pos = core().system().readers()[2].position();
+        let window = ripq_geom::Rect::centered(reader_pos, 10.0, 6.0);
+        let frames: Vec<String> = {
+            let mut f = vec![format!(
+                "{{\"op\":\"subscribe\",\"sub\":1,\"range\":[{},{},{},{}]}}",
+                window.min().x,
+                window.min().y,
+                window.width(),
+                window.height()
+            )];
+            f.push(format!(
+                "{{\"op\":\"subscribe\",\"sub\":2,\"point\":[{},{}],\"k\":2}}",
+                reader_pos.x, reader_pos.y
+            ));
+            for s in 0..6u64 {
+                f.push(format!(
+                    "{{\"op\":\"reading\",\"second\":{s},\"readings\":[[0,2],[1,{}]]}}",
+                    (s % 3) + 4
+                ));
+            }
+            f.push("{\"op\":\"tick\",\"second\":6}".to_string());
+            f.push("{\"op\":\"metrics\"}".to_string());
+            f.push("{\"op\":\"shutdown\"}".to_string());
+            f
+        };
+        let run = |workers: Option<usize>| -> Vec<String> {
+            let plan = office_building(&OfficeParams::default()).unwrap();
+            let mut core = ServerCore::new(
+                plan,
+                ServerConfig {
+                    workers,
+                    ..ServerConfig::default()
+                },
+            );
+            let mut out = Vec::new();
+            for f in &frames {
+                out.extend(core.handle_frame(f.as_bytes()));
+            }
+            assert!(core.is_shutdown());
+            out
+        };
+        let a = run(None);
+        let b = run(Some(2));
+        let c = run(Some(4));
+        assert_eq!(a, b, "worker count must not change output");
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn malformed_frames_reject_without_poisoning_the_stream() {
+        let mut core = core();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame(b"not json at all"));
+        bytes.extend_from_slice(&0u32.to_be_bytes()); // empty frame
+        bytes.extend_from_slice(&encode_frame(b"{\"op\":\"tick\",\"second\":0}"));
+        let lines = core.ingest_bytes(&bytes);
+        assert!(lines[0].starts_with("{\"error\":"));
+        assert!(lines[1].starts_with("{\"error\":"));
+        assert!(lines.last().unwrap().starts_with("{\"ok\":\"tick\""));
+        assert!(core.finish_input().is_empty());
+        // A cut-off frame surfaces at end of stream.
+        core.decoder.push(&[0, 0, 0]);
+        let tail = core.finish_input();
+        assert_eq!(tail.len(), 1);
+        assert!(tail[0].contains("mid-frame"));
+    }
+
+    #[test]
+    fn subscription_lifecycle_and_errors() {
+        let mut core = core();
+        assert_eq!(
+            one(
+                &mut core,
+                "{\"op\":\"subscribe\",\"sub\":1,\"range\":[0,0,5,5]}"
+            )
+            .len(),
+            1
+        );
+        let dup = one(
+            &mut core,
+            "{\"op\":\"subscribe\",\"sub\":1,\"range\":[0,0,5,5]}",
+        );
+        assert!(dup[0].contains("already registered"));
+        // Query rollback happened: only sub 1's query remains.
+        assert_eq!(core.system().query_count(), 1);
+        let bad = one(
+            &mut core,
+            "{\"op\":\"subscribe\",\"sub\":2,\"point\":[0,0],\"k\":0}",
+        );
+        assert!(bad[0].starts_with("{\"error\":"));
+        assert_eq!(
+            one(&mut core, "{\"op\":\"unsubscribe\",\"sub\":1}"),
+            vec!["{\"ok\":\"unsubscribe\",\"sub\":1}"]
+        );
+        assert_eq!(core.system().query_count(), 0);
+        assert!(one(&mut core, "{\"op\":\"unsubscribe\",\"sub\":1}")[0].contains("unknown"));
+    }
+
+    #[test]
+    fn custom_executors_see_events() {
+        let mut core = core();
+        core.clear_executors();
+        core.push_executor(Box::new(CountingExecutor::default()));
+        one(
+            &mut core,
+            "{\"op\":\"subscribe\",\"sub\":1,\"range\":[-500,-500,1000,1000]}",
+        );
+        let reader = core.system().readers()[0].id().raw();
+        one(
+            &mut core,
+            &format!("{{\"op\":\"reading\",\"second\":0,\"readings\":[[0,{reader}]]}}"),
+        );
+        let lines = one(&mut core, "{\"op\":\"tick\",\"second\":0}");
+        // Counting executor emits nothing; only delta + ack remain.
+        assert!(lines.iter().all(|l| !l.contains("\"event\"")));
+        assert!(lines.last().unwrap().contains("\"events\":1"));
+    }
+
+    #[test]
+    fn checkpoint_without_dir_is_a_clean_error() {
+        let mut core = core();
+        let lines = one(&mut core, "{\"op\":\"checkpoint\"}");
+        assert!(lines[0].contains("no checkpoint directory"));
+        assert!(core.last_checkpoint_error().is_none());
+    }
+
+    #[test]
+    fn metrics_frame_is_deterministic_json() {
+        let mut core = core();
+        let m1 = one(&mut core, "{\"op\":\"metrics\"}");
+        assert_eq!(m1.len(), 1);
+        assert!(m1[0].contains("\"counters\""));
+        assert_eq!(core.metrics_json(), core.metrics_json());
+    }
+}

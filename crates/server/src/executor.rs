@@ -1,0 +1,226 @@
+//! Pluggable event executors — the action side of the daemon.
+//!
+//! Each tick turns subscription deltas and collector silence into
+//! [`ServerEvent`]s; every registered [`Executor`] sees every event and
+//! may contribute extra response frames. The built-in [`FrameExecutor`]
+//! renders the standard event frames the transcript goldens pin down;
+//! deployments add their own executors (pagers, actuators, …) without
+//! touching the evaluation loop.
+
+use crate::protocol::render_ok;
+use ripq_rfid::ObjectId;
+use std::fmt::Write as _;
+
+/// An event derived from one tick's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// An object entered a range subscription's window (geofence).
+    GeofenceEntered {
+        /// The subscription whose window was entered.
+        sub: u64,
+        /// The entering object.
+        object: ObjectId,
+        /// The tick second.
+        second: u64,
+    },
+    /// An object left a range subscription's window.
+    GeofenceLeft {
+        /// The subscription whose window was left.
+        sub: u64,
+        /// The leaving object.
+        object: ObjectId,
+        /// The tick second.
+        second: u64,
+    },
+    /// An object has not been detected by any reader for longer than the
+    /// configured silence threshold (default 60 s). Fires once per
+    /// silent episode; a re-detection re-arms it.
+    ObjectUnseen {
+        /// The silent object.
+        object: ObjectId,
+        /// The tick second.
+        second: u64,
+        /// The last second any reader saw the object.
+        last_seen: u64,
+    },
+}
+
+impl ServerEvent {
+    /// The event's wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServerEvent::GeofenceEntered { .. } => "geofence_entered",
+            ServerEvent::GeofenceLeft { .. } => "geofence_left",
+            ServerEvent::ObjectUnseen { .. } => "object_unseen",
+        }
+    }
+}
+
+/// A pluggable event sink. Executors run in registration order; every
+/// frame they return is appended to the tick's response stream, so a
+/// deterministic executor keeps the whole transcript deterministic.
+/// `Send` so a [`ServerCore`](crate::core::ServerCore) can move into a
+/// daemon thread.
+pub trait Executor: Send {
+    /// A stable name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Reacts to one event; returned strings become response frames.
+    fn on_event(&mut self, event: &ServerEvent) -> Vec<String>;
+}
+
+/// The built-in executor: renders each event as a canonical JSON frame.
+#[derive(Debug, Default)]
+pub struct FrameExecutor;
+
+impl Executor for FrameExecutor {
+    fn name(&self) -> &'static str {
+        "frames"
+    }
+
+    fn on_event(&mut self, event: &ServerEvent) -> Vec<String> {
+        let mut body = String::new();
+        match event {
+            ServerEvent::GeofenceEntered {
+                sub,
+                object,
+                second,
+            }
+            | ServerEvent::GeofenceLeft {
+                sub,
+                object,
+                second,
+            } => {
+                let _ = write!(
+                    body,
+                    "{{\"event\":\"{}\",\"sub\":{sub},\"object\":{},\"second\":{second}}}",
+                    event.name(),
+                    object.raw()
+                );
+            }
+            ServerEvent::ObjectUnseen {
+                object,
+                second,
+                last_seen,
+            } => {
+                let _ = write!(
+                    body,
+                    "{{\"event\":\"object_unseen\",\"object\":{},\"second\":{second},\"last_seen\":{last_seen}}}",
+                    object.raw()
+                );
+            }
+        }
+        vec![body]
+    }
+}
+
+/// A counting executor for tests and smoke checks: tallies events by
+/// kind and emits nothing.
+#[derive(Debug, Default)]
+pub struct CountingExecutor {
+    /// Geofence-entered events seen.
+    pub entered: u64,
+    /// Geofence-left events seen.
+    pub left: u64,
+    /// Unseen events seen.
+    pub unseen: u64,
+}
+
+impl Executor for CountingExecutor {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+
+    fn on_event(&mut self, event: &ServerEvent) -> Vec<String> {
+        match event {
+            ServerEvent::GeofenceEntered { .. } => self.entered += 1,
+            ServerEvent::GeofenceLeft { .. } => self.left += 1,
+            ServerEvent::ObjectUnseen { .. } => self.unseen += 1,
+        }
+        Vec::new()
+    }
+}
+
+/// An acknowledging executor used by the CLI's verbose mode: echoes an
+/// `{"ok":"executor", ...}` frame naming what fired.
+#[derive(Debug, Default)]
+pub struct AckExecutor;
+
+impl Executor for AckExecutor {
+    fn name(&self) -> &'static str {
+        "ack"
+    }
+
+    fn on_event(&mut self, event: &ServerEvent) -> Vec<String> {
+        vec![render_ok(
+            "executor",
+            &[("fired", format!("\"{}\"", event.name()))],
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_executor_renders_valid_json() {
+        let mut ex = FrameExecutor;
+        assert_eq!(ex.name(), "frames");
+        for event in [
+            ServerEvent::GeofenceEntered {
+                sub: 1,
+                object: ObjectId::new(4),
+                second: 9,
+            },
+            ServerEvent::GeofenceLeft {
+                sub: 1,
+                object: ObjectId::new(4),
+                second: 10,
+            },
+            ServerEvent::ObjectUnseen {
+                object: ObjectId::new(2),
+                second: 70,
+                last_seen: 3,
+            },
+        ] {
+            let frames = ex.on_event(&event);
+            assert_eq!(frames.len(), 1);
+            let doc = crate::json::parse(frames[0].as_bytes()).unwrap();
+            let obj = doc.as_obj().unwrap();
+            assert_eq!(obj["event"].as_str(), Some(event.name()));
+        }
+    }
+
+    #[test]
+    fn counting_executor_tallies() {
+        let mut ex = CountingExecutor::default();
+        ex.on_event(&ServerEvent::GeofenceEntered {
+            sub: 0,
+            object: ObjectId::new(0),
+            second: 0,
+        });
+        ex.on_event(&ServerEvent::ObjectUnseen {
+            object: ObjectId::new(0),
+            second: 61,
+            last_seen: 0,
+        });
+        assert_eq!((ex.entered, ex.left, ex.unseen), (1, 0, 1));
+        assert_eq!(ex.name(), "counting");
+    }
+
+    #[test]
+    fn ack_executor_names_the_event() {
+        let mut ex = AckExecutor;
+        let frames = ex.on_event(&ServerEvent::GeofenceLeft {
+            sub: 3,
+            object: ObjectId::new(1),
+            second: 5,
+        });
+        assert_eq!(
+            frames,
+            vec!["{\"ok\":\"executor\",\"fired\":\"geofence_left\"}"]
+        );
+        assert_eq!(ex.name(), "ack");
+    }
+}

@@ -1,0 +1,250 @@
+//! Length-prefixed frame codec for the streaming wire protocol.
+//!
+//! Every frame is a 4-byte big-endian length followed by that many bytes
+//! of JSON payload. The decoder is incremental (feed arbitrary chunk
+//! boundaries) and hardened against hostile input: oversized or empty
+//! declared lengths yield one typed error each and the decoder *resyncs*
+//! — it discards exactly the bad frame's bytes so subsequent well-formed
+//! frames decode normally. It never panics.
+
+use std::fmt;
+
+/// Largest payload a frame may declare (1 MiB). Anything larger is
+/// rejected without buffering it.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Decoder-level frame errors. These are transport problems, distinct
+/// from protocol errors inside a well-formed frame's JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header declared a payload longer than [`MAX_FRAME_LEN`]. The
+    /// decoder skips the declared bytes and resynchronizes.
+    Oversized {
+        /// The declared payload length.
+        declared: usize,
+    },
+    /// The header declared a zero-length payload.
+    Empty,
+    /// The stream ended mid-frame: a header or payload was cut short.
+    Truncated {
+        /// How many more bytes the pending frame still needed.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { declared } => write!(
+                f,
+                "frame declares {declared} bytes, limit is {MAX_FRAME_LEN}"
+            ),
+            FrameError::Empty => write!(f, "frame declares an empty payload"),
+            FrameError::Truncated { missing } => {
+                write!(f, "stream ended mid-frame, {missing} bytes missing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one payload as a length-prefixed frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame decoder. Feed bytes with [`FrameDecoder::push`],
+/// drain complete frames with [`FrameDecoder::next_frame`], and call
+/// [`FrameDecoder::finish`] at end-of-stream to detect truncation.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of an oversized frame still to discard before resyncing.
+    discard: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a chunk of stream bytes (any chunking is fine).
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete frame, a frame error, or `None` when more
+    /// bytes are needed. Errors are consumed: after an `Oversized` or
+    /// `Empty` result the decoder has already discarded the bad frame
+    /// and the next call continues with the following one.
+    pub fn next_frame(&mut self) -> Option<Result<Vec<u8>, FrameError>> {
+        if self.discard > 0 {
+            let n = self.discard.min(self.buf.len());
+            self.buf.drain(..n);
+            self.discard -= n;
+            if self.discard > 0 {
+                return None;
+            }
+        }
+        let header: [u8; 4] = self.buf.get(..4).and_then(|h| h.try_into().ok())?;
+        let declared = u32::from_be_bytes(header) as usize;
+        if declared > MAX_FRAME_LEN {
+            self.buf.drain(..4);
+            self.discard = declared;
+            // Discard whatever already arrived so the caller may retry
+            // immediately without an extra push.
+            let n = self.discard.min(self.buf.len());
+            self.buf.drain(..n);
+            self.discard -= n;
+            return Some(Err(FrameError::Oversized { declared }));
+        }
+        if declared == 0 {
+            self.buf.drain(..4);
+            return Some(Err(FrameError::Empty));
+        }
+        let payload = self.buf.get(4..4 + declared)?.to_vec();
+        self.buf.drain(..4 + declared);
+        Some(Ok(payload))
+    }
+
+    /// Declares end-of-stream: returns `Truncated` if a partial frame
+    /// (or the tail of a discarded oversized one) is still pending.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        if self.discard > 0 {
+            return Err(FrameError::Truncated {
+                missing: self.discard,
+            });
+        }
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let header: Option<[u8; 4]> = self.buf.get(..4).and_then(|h| h.try_into().ok());
+        let missing = match header {
+            None => 4 - self.buf.len(),
+            Some(h) => (u32::from_be_bytes(h) as usize + 4).saturating_sub(self.buf.len()),
+        };
+        Err(FrameError::Truncated { missing })
+    }
+
+    /// Bytes currently buffered (pending partial frame).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() + self.discard
+    }
+
+    /// Drops any buffered partial frame and discard debt — used when a
+    /// byte stream ends so the next stream starts from a clean slate.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.discard = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(dec: &mut FrameDecoder) -> Vec<Result<Vec<u8>, FrameError>> {
+        let mut out = Vec::new();
+        while let Some(r) = dec.next_frame() {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn round_trips_across_chunk_boundaries() {
+        let frames: Vec<Vec<u8>> = vec![b"alpha".to_vec(), b"b".to_vec(), vec![0u8; 300]];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f));
+        }
+        // Feed one byte at a time.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            dec.push(&[b]);
+            got.extend(drain(&mut dec));
+        }
+        let got: Vec<Vec<u8>> = got.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, frames);
+        assert!(dec.finish().is_ok());
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_and_resynced() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes());
+        wire.extend_from_slice(&vec![0xAB; MAX_FRAME_LEN + 1]);
+        wire.extend_from_slice(&encode_frame(b"after"));
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let got = drain(&mut dec);
+        assert_eq!(
+            got,
+            vec![
+                Err(FrameError::Oversized {
+                    declared: MAX_FRAME_LEN + 1
+                }),
+                Ok(b"after".to_vec()),
+            ]
+        );
+        assert!(dec.finish().is_ok());
+    }
+
+    #[test]
+    fn oversized_discard_spans_chunks() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&((MAX_FRAME_LEN as u32) + 5).to_be_bytes());
+        assert!(matches!(
+            dec.next_frame(),
+            Some(Err(FrameError::Oversized { .. }))
+        ));
+        // Stream the junk in pieces, then a good frame.
+        dec.push(&vec![0u8; MAX_FRAME_LEN]);
+        assert!(dec.next_frame().is_none());
+        assert!(matches!(dec.finish(), Err(FrameError::Truncated { .. })));
+        dec.push(&[0u8; 5]);
+        dec.push(&encode_frame(b"ok"));
+        assert_eq!(dec.next_frame(), Some(Ok(b"ok".to_vec())));
+    }
+
+    #[test]
+    fn empty_frame_is_an_error_but_stream_continues() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&0u32.to_be_bytes());
+        dec.push(&encode_frame(b"x"));
+        assert_eq!(dec.next_frame(), Some(Err(FrameError::Empty)));
+        assert_eq!(dec.next_frame(), Some(Ok(b"x".to_vec())));
+    }
+
+    #[test]
+    fn truncation_is_reported_at_finish() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&[0, 0]);
+        assert!(dec.next_frame().is_none());
+        assert_eq!(dec.finish(), Err(FrameError::Truncated { missing: 2 }));
+        let mut dec = FrameDecoder::new();
+        dec.push(&encode_frame(b"hello"));
+        let cut = dec.buf.len() - 2;
+        dec.buf.truncate(cut);
+        assert!(dec.next_frame().is_none());
+        assert_eq!(dec.finish(), Err(FrameError::Truncated { missing: 2 }));
+    }
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        assert!(FrameError::Oversized { declared: 9 }
+            .to_string()
+            .contains("9"));
+        assert!(FrameError::Empty.to_string().contains("empty"));
+        assert!(FrameError::Truncated { missing: 3 }
+            .to_string()
+            .contains("3 bytes missing"));
+    }
+}

@@ -1,0 +1,402 @@
+//! A minimal JSON codec for the wire protocol.
+//!
+//! The build is hermetic (no serde_json), so frames are parsed and
+//! rendered by hand. Unlike the machine-written files the xtask auditor
+//! reads, frame payloads arrive from the network, so this parser is
+//! hardened: it never panics (no indexing, no unwrap), bounds recursion
+//! with [`MAX_DEPTH`], and reports typed errors that the server turns
+//! into protocol-level error frames without dropping the connection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth a payload may use. Deeper documents are
+/// rejected before recursion can exhaust the stack.
+pub const MAX_DEPTH: u32 = 64;
+
+/// A parsed JSON value. Object keys are name-ordered so traversal and
+/// re-rendering are deterministic regardless of wire order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; protocol integers stay far inside
+    /// f64's exact range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as u64, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure, with the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the payload.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(at: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        at,
+        message: message.into(),
+    }
+}
+
+/// Parses one JSON document. Trailing whitespace is allowed; trailing
+/// garbage is an error.
+pub fn parse(bytes: &[u8]) -> Result<Value, ParseError> {
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing garbage"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes.get(*pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), ParseError> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{}`", b as char)))
+    }
+}
+
+fn starts_with_at(bytes: &[u8], pos: usize, word: &[u8]) -> bool {
+    bytes.get(pos..pos + word.len()) == Some(word)
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, ParseError> {
+    if depth > MAX_DEPTH {
+        return Err(err(*pos, "nesting too deep"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') if starts_with_at(bytes, *pos, b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if starts_with_at(bytes, *pos, b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if starts_with_at(bytes, *pos, b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(&c) => Err(err(*pos, format!("unexpected `{}`", c as char))),
+        None => Err(err(*pos, "unexpected end of input")),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, ParseError> {
+    expect_byte(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}`")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, ParseError> {
+    expect_byte(bytes, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(out));
+    }
+    loop {
+        out.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(out));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]`")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| err(*pos, "invalid UTF-8 in string"))
+            }
+            b'\\' => {
+                let esc = bytes
+                    .get(*pos)
+                    .copied()
+                    .ok_or_else(|| err(*pos, "unterminated escape"))?;
+                *pos += 1;
+                match esc {
+                    b'"' | b'\\' | b'/' => out.push(esc),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        *pos += 4;
+                        // Protocol writers only escape BMP control
+                        // characters, so no surrogate-pair handling; lone
+                        // surrogates are rejected by from_u32.
+                        let ch =
+                            char::from_u32(code).ok_or_else(|| err(*pos, "bad \\u code point"))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => {
+                        return Err(err(
+                            *pos,
+                            format!("unsupported escape `\\{}`", other as char),
+                        ))
+                    }
+                }
+            }
+            _ => out.push(b),
+        }
+    }
+    Err(err(*pos, "unterminated string"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    bytes
+        .get(start..*pos)
+        .and_then(|s| std::str::from_utf8(s).ok())
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Value::Num)
+        .ok_or_else(|| err(start, "bad number"))
+}
+
+/// Renders a value as compact JSON. Deterministic: object keys are
+/// emitted in name order (they are stored sorted) and numbers render via
+/// Rust's shortest-round-trip formatting.
+pub fn render(value: &Value) -> String {
+    let mut out = String::new();
+    render_into(value, &mut out);
+    out
+}
+
+fn render_into(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => render_f64(*n, out),
+        Value::Str(s) => render_str(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_str(k, out);
+                out.push(':');
+                render_into(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders a finite f64 the way the transcript writers do (non-finite
+/// values have no JSON spelling and render as `null`).
+pub fn render_f64(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if n.is_finite() {
+        let _ = write!(out, "{n}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders a JSON string literal with the escapes the parser accepts.
+pub fn render_str(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_protocol_shapes() {
+        let v = parse(
+            br#"{"op":"reading","second":12,"readings":[[0,3],[1,7]],"x":-2.5,"ok":true,"none":null}"#,
+        )
+        .expect("parses");
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj["op"].as_str(), Some("reading"));
+        assert_eq!(obj["second"].as_u64(), Some(12));
+        assert_eq!(obj["x"].as_f64(), Some(-2.5));
+        let rendered = render(&v);
+        assert_eq!(parse(rendered.as_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage_with_positions() {
+        assert!(parse(b"{").is_err());
+        assert!(parse(b"{} trailing").is_err());
+        assert!(parse(b"\"unterminated").is_err());
+        assert!(parse(b"nul").is_err());
+        assert!(parse(b"1e999").is_err(), "non-finite numbers rejected");
+        assert!(parse(b"[1,]").is_err());
+        let e = parse(b"  !").unwrap_err();
+        assert_eq!(e.at, 2);
+    }
+
+    #[test]
+    fn depth_limit_blocks_stack_exhaustion() {
+        let deep: Vec<u8> = std::iter::repeat_n(b'[', 10_000)
+            .chain(std::iter::repeat_n(b']', 10_000))
+            .collect();
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("deep"));
+        // Well inside the limit is fine.
+        let ok = parse(b"[[[[[[[[[[1]]]]]]]]]]").unwrap();
+        assert!(matches!(ok, Value::Arr(_)));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Value::Str("a\"b\\c\nd\u{1}".to_string());
+        let r = render(&v);
+        assert_eq!(parse(r.as_bytes()).unwrap(), v);
+        assert!(r.contains("\\u0001"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # ripq-server — the streaming indoor spatial query daemon
+//!
+//! Turns the batch-oriented [`IndoorQuerySystem`](ripq_core::IndoorQuerySystem)
+//! into a long-running service: clients stream length-prefixed JSON
+//! frames of raw RFID readings over TCP or a Unix-domain socket,
+//! register *continuous* range/kNN subscriptions, and receive per-tick
+//! **delta** frames (which objects entered, left, or changed probability
+//! in each result set) plus executor-driven event frames (geofence
+//! entered/left, object unseen past a silence threshold).
+//!
+//! The layering is strict:
+//!
+//! ```text
+//! bytes ─→ frame (length-prefix codec) ─→ protocol (JSON requests)
+//!                                              │
+//!                net (TCP/UDS shell)  ◄── core (deterministic engine)
+//!                                              │
+//!                  executor (events)      checkpoint (server.ckpt)
+//! ```
+//!
+//! Everything below `net` is IO-free and deterministic: replaying a
+//! recorded frame transcript into [`ServerCore`] yields byte-identical
+//! response lines and metrics JSON across runs and worker counts — the
+//! property the transcript-replay test harness pins down. Crash
+//! recovery composes the engine's `system.ckpt` with this crate's
+//! `server.ckpt` sidecar so a restarted daemon resumes the delta stream
+//! exactly where the previous life checkpointed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod core;
+pub mod executor;
+pub mod frame;
+pub mod json;
+pub mod net;
+pub mod protocol;
+
+pub use checkpoint::SidecarState;
+pub use core::{ServerConfig, ServerCore, ServerRecovery};
+pub use executor::{AckExecutor, CountingExecutor, Executor, FrameExecutor, ServerEvent};
+pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+pub use net::{send_frames, Endpoint, Server};
+pub use protocol::{parse_request, Request};

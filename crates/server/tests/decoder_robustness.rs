@@ -1,0 +1,147 @@
+//! Robustness properties of the wire layer: the frame decoder and the
+//! request parser must never panic, whatever bytes arrive, and a
+//! malformed frame mid-stream must not corrupt the frames after it.
+
+use proptest::prelude::*;
+use ripq_server::frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+use ripq_server::{json, protocol};
+
+/// Drains a decoder into (payloads, errors) — every outcome is typed.
+fn drain(dec: &mut FrameDecoder) -> (Vec<Vec<u8>>, Vec<FrameError>) {
+    let mut payloads = Vec::new();
+    let mut errors = Vec::new();
+    while let Some(r) = dec.next_frame() {
+        match r {
+            Ok(p) => payloads.push(p),
+            Err(e) => errors.push(e),
+        }
+    }
+    (payloads, errors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup, fed in arbitrary chunkings: the decoder
+    /// never panics and only ever yields typed payloads/errors.
+    #[test]
+    fn decoder_survives_garbage(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..512),
+        cuts in proptest::collection::vec(0usize..512, 0..8),
+    ) {
+        let mut dec = FrameDecoder::new();
+        let mut cuts: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.push(bytes.len());
+        let mut start = 0;
+        for cut in cuts {
+            if let Some(chunk) = bytes.get(start..cut) {
+                dec.push(chunk);
+                let _ = drain(&mut dec);
+            }
+            start = cut.max(start);
+        }
+        // End-of-stream verdict is typed, never a panic.
+        let _ = dec.finish();
+    }
+
+    /// Well-formed frames round-trip unchanged through any chunking.
+    #[test]
+    fn frames_round_trip_across_chunkings(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255u8, 1..64), 1..10
+        ),
+        chunk in 1usize..17,
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut start = 0;
+        while start < wire.len() {
+            let end = (start + chunk).min(wire.len());
+            if let Some(piece) = wire.get(start..end) {
+                dec.push(piece);
+            }
+            let (p, e) = drain(&mut dec);
+            prop_assert!(e.is_empty(), "spurious errors: {e:?}");
+            got.extend(p);
+            start = end;
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert!(dec.finish().is_ok());
+    }
+
+    /// A malformed frame mid-stream (truncated header bytes swallowed by
+    /// an oversized declaration, an empty frame, or junk payload) yields
+    /// a clean typed error and every frame after it still decodes.
+    #[test]
+    fn malformed_frame_does_not_poison_the_stream(
+        before in proptest::collection::vec(0u8..=255u8, 1..32),
+        after in proptest::collection::vec(0u8..=255u8, 1..32),
+        junk_len in 0usize..64,
+        kind in 0u8..3,
+    ) {
+        let mut wire = encode_frame(&before);
+        match kind {
+            0 => {
+                // Oversized declaration with junk body.
+                let declared = MAX_FRAME_LEN + 1 + junk_len;
+                wire.extend_from_slice(&(declared as u32).to_be_bytes());
+                wire.extend_from_slice(&vec![0xEE; declared]);
+            }
+            1 => wire.extend_from_slice(&0u32.to_be_bytes()), // empty frame
+            _ => wire.extend_from_slice(&encode_frame(&vec![0xEE; junk_len + 1])),
+        }
+        wire.extend_from_slice(&encode_frame(&after));
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let (payloads, errors) = drain(&mut dec);
+        prop_assert!(dec.finish().is_ok());
+        match kind {
+            0 => {
+                prop_assert_eq!(payloads, vec![before, after]);
+                prop_assert!(matches!(
+                    errors.first(),
+                    Some(FrameError::Oversized { .. })
+                ));
+            }
+            1 => {
+                prop_assert_eq!(payloads, vec![before, after]);
+                prop_assert_eq!(errors, vec![FrameError::Empty]);
+            }
+            _ => {
+                // Junk payload is framing-valid; it decodes, and the
+                // protocol layer rejects it without panicking.
+                prop_assert_eq!(payloads.len(), 3);
+                prop_assert!(errors.is_empty());
+                let junk = payloads.get(1).map(Vec::as_slice).unwrap_or(b"");
+                prop_assert!(protocol::parse_request(junk).is_err());
+            }
+        }
+    }
+
+    /// The JSON parser and the request parser are total functions over
+    /// arbitrary bytes: typed results, no panics.
+    #[test]
+    fn parsers_are_total(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        let _ = json::parse(&bytes);
+        let _ = protocol::parse_request(&bytes);
+    }
+
+    /// Mutating any single byte of a valid request payload never panics
+    /// the parser — it either still parses or fails with a typed error.
+    #[test]
+    fn single_byte_corruption_is_handled(pos in 0usize..64, val in 0u8..=255u8) {
+        let base = b"{\"op\":\"reading\",\"second\":3,\"readings\":[[0,4],[2,11]]}".to_vec();
+        let mut bytes = base.clone();
+        let idx = pos % bytes.len();
+        if let Some(b) = bytes.get_mut(idx) {
+            *b = val;
+        }
+        let _ = protocol::parse_request(&bytes);
+        prop_assert!(protocol::parse_request(&base).is_ok());
+    }
+}

@@ -34,6 +34,7 @@ pub mod metrics;
 mod params;
 mod readings;
 mod trace;
+pub mod transcript;
 pub mod viz;
 mod world;
 
@@ -44,5 +45,6 @@ pub use ground_truth::GroundTruth;
 pub use params::ExperimentParams;
 pub use readings::{ReaderOutage, ReadingGenerator};
 pub use trace::{TraceGenerator, TrueTrace};
+pub use transcript::{record_transcript, Transcript, TranscriptSpec};
 pub use viz::SvgScene;
 pub use world::SimWorld;

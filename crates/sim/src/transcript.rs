@@ -1,0 +1,318 @@
+//! Socket-transcript recording for the streaming server's replay
+//! harness.
+//!
+//! A *transcript* is the full client side of a daemon session: the
+//! ordered JSON frame payloads (logical timestamps — the `second`
+//! fields — live inside the frames). Because `ripq-server`'s engine is
+//! deterministic, a transcript pins down the entire response stream;
+//! the replay tests re-feed a recorded transcript and byte-compare the
+//! output against a golden fixture.
+//!
+//! The on-disk format is deliberately line-oriented and reviewable:
+//!
+//! ```text
+//! # ripq-transcript/v1
+//! {"op":"subscribe","sub":1,"range":[...]}
+//! {"op":"reading","second":0,"readings":[[0,4],[2,11]]}
+//! ...
+//! ```
+//!
+//! This module composes frames as plain strings — it does not depend on
+//! `ripq-server`; the integration tests in the root crate close the
+//! loop between the two.
+
+use crate::{ExperimentParams, ReadingGenerator, SimWorld, TraceGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ripq_persist::{write_atomic, PersistError};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The transcript file header / version marker.
+pub const TRANSCRIPT_HEADER: &str = "# ripq-transcript/v1";
+
+/// A recorded client session: one JSON frame payload per entry, in send
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Transcript {
+    /// Frame payloads (JSON text, no length prefix).
+    pub frames: Vec<String>,
+}
+
+impl Transcript {
+    /// Renders the line-oriented transcript file.
+    pub fn to_text(&self) -> String {
+        let mut out =
+            String::with_capacity(self.frames.iter().map(|f| f.len() + 1).sum::<usize>() + 32);
+        out.push_str(TRANSCRIPT_HEADER);
+        out.push('\n');
+        for frame in &self.frames {
+            out.push_str(frame);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a transcript file: header line required, blank lines and
+    /// further `#` comments ignored.
+    pub fn from_text(text: &str) -> Result<Transcript, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(first) if first.trim() == TRANSCRIPT_HEADER => {}
+            Some(first) => {
+                return Err(format!(
+                    "bad transcript header {first:?}, expected {TRANSCRIPT_HEADER:?}"
+                ))
+            }
+            None => return Err("empty transcript".to_string()),
+        }
+        let frames = lines
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Ok(Transcript { frames })
+    }
+
+    /// Writes the transcript atomically.
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        write_atomic(path, self.to_text().as_bytes())
+    }
+
+    /// Loads a transcript file.
+    pub fn load(path: &Path) -> Result<Transcript, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = String::from_utf8(bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_text(&text)
+    }
+
+    /// The frames as raw payload bytes, ready for length-prefix framing.
+    pub fn payloads(&self) -> Vec<Vec<u8>> {
+        self.frames.iter().map(|f| f.clone().into_bytes()).collect()
+    }
+}
+
+/// What [`record_transcript`] simulates. All fields feed deterministic
+/// generators, so equal specs record equal transcripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranscriptSpec {
+    /// Master seed for traces and sensing.
+    pub seed: u64,
+    /// Moving objects in the simulated world.
+    pub objects: usize,
+    /// Simulated duration in seconds (one `reading` frame per second).
+    pub seconds: u64,
+    /// Evaluate (emit a `tick` frame) every this many seconds.
+    pub tick_every: u64,
+    /// Range subscriptions, windowed around distinct readers.
+    pub range_subs: usize,
+    /// kNN subscriptions (k = 3), anchored at distinct readers.
+    pub knn_subs: usize,
+    /// Emit an explicit `checkpoint` frame after the first tick at or
+    /// past this second.
+    pub checkpoint_after: Option<u64>,
+    /// Emit a final `metrics` frame before `shutdown`. Off for the
+    /// crash-recovery golden: restored metrics counters legitimately
+    /// encode a different history (`recovery.resumed` vs the original
+    /// life's checkpoint counters), so a resumed stream can only be
+    /// byte-equal to the golden's suffix without this frame.
+    pub metrics_frame: bool,
+}
+
+impl Default for TranscriptSpec {
+    fn default() -> Self {
+        TranscriptSpec {
+            seed: 42,
+            objects: 12,
+            seconds: 120,
+            tick_every: 10,
+            range_subs: 2,
+            knn_subs: 1,
+            checkpoint_after: Some(60),
+            metrics_frame: true,
+        }
+    }
+}
+
+/// Records a transcript: simulated objects walk the default office
+/// world, readers sense them through the stochastic [`ripq_rfid::SensingModel`],
+/// and the resulting per-second detections become `reading` frames
+/// interleaved with subscriptions, periodic `tick`s, an optional
+/// `checkpoint`, and a final `metrics` + `shutdown`.
+///
+/// The world matches what `ripq-server` builds for the default office
+/// plan (19 uniformly deployed readers), so reader ids in the frames
+/// are meaningful to the daemon.
+pub fn record_transcript(spec: &TranscriptSpec) -> Transcript {
+    let params = ExperimentParams {
+        num_objects: spec.objects,
+        duration: spec.seconds,
+        seed: spec.seed,
+        ..ExperimentParams::default()
+    };
+    let world = SimWorld::build(&params);
+    let mut rng_trace = StdRng::seed_from_u64(params.seed.wrapping_add(1));
+    let mut rng_sense = StdRng::seed_from_u64(params.seed.wrapping_add(2));
+    let traces = TraceGenerator::new(params.room_dwell_mean).generate(
+        &mut rng_trace,
+        &world.graph,
+        world.plan.rooms().len(),
+        spec.objects,
+        spec.seconds,
+    );
+    let sensor = ReadingGenerator::new(&world.graph, &world.readers, params.sensing);
+
+    let mut frames = Vec::new();
+    let mut sub = 1u64;
+    // Subscriptions window/anchor on distinct readers, spread across the
+    // deployment so transcripts exercise different hallways.
+    let readers = &world.readers;
+    for i in 0..spec.range_subs {
+        let Some(reader) = readers.get((i * 5 + 2) % readers.len()) else {
+            break;
+        };
+        let window = ripq_geom::Rect::centered(reader.position(), 14.0, 9.0);
+        let mut f = String::new();
+        let _ = write!(
+            f,
+            "{{\"op\":\"subscribe\",\"sub\":{sub},\"range\":[{},{},{},{}]}}",
+            window.min().x,
+            window.min().y,
+            window.width(),
+            window.height()
+        );
+        frames.push(f);
+        sub += 1;
+    }
+    for i in 0..spec.knn_subs {
+        let Some(reader) = readers.get((i * 7 + 4) % readers.len()) else {
+            break;
+        };
+        let p = reader.position();
+        frames.push(format!(
+            "{{\"op\":\"subscribe\",\"sub\":{sub},\"point\":[{},{}],\"k\":3}}",
+            p.x, p.y
+        ));
+        sub += 1;
+    }
+
+    let mut checkpoint_pending = spec.checkpoint_after;
+    for second in 0..spec.seconds {
+        let detections = sensor.detections_at(&mut rng_sense, &traces, second);
+        let mut f = String::new();
+        let _ = write!(f, "{{\"op\":\"reading\",\"second\":{second},\"readings\":[");
+        for (i, (object, reader)) in detections.iter().enumerate() {
+            if i > 0 {
+                f.push(',');
+            }
+            let _ = write!(f, "[{},{}]", object.raw(), reader.raw());
+        }
+        f.push_str("]}");
+        frames.push(f);
+        if spec.tick_every > 0 && (second + 1) % spec.tick_every == 0 {
+            frames.push(format!("{{\"op\":\"tick\",\"second\":{second}}}"));
+            if checkpoint_pending.is_some_and(|at| second >= at) {
+                checkpoint_pending = None;
+                frames.push("{\"op\":\"checkpoint\"}".to_string());
+            }
+        }
+    }
+    if spec.metrics_frame {
+        frames.push("{\"op\":\"metrics\"}".to_string());
+    }
+    frames.push("{\"op\":\"shutdown\"}".to_string());
+    Transcript { frames }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_is_deterministic() {
+        let spec = TranscriptSpec {
+            objects: 5,
+            seconds: 30,
+            ..TranscriptSpec::default()
+        };
+        let a = record_transcript(&spec);
+        let b = record_transcript(&spec);
+        assert_eq!(a, b);
+        assert!(a.frames.len() > 30, "readings + subs + ticks + tail");
+        assert_eq!(
+            a.frames.last().map(String::as_str),
+            Some("{\"op\":\"shutdown\"}")
+        );
+        let other = record_transcript(&TranscriptSpec {
+            seed: 43,
+            objects: 5,
+            seconds: 30,
+            ..TranscriptSpec::default()
+        });
+        assert_ne!(a, other, "seed must matter");
+    }
+
+    #[test]
+    fn text_round_trip_preserves_frames() {
+        let spec = TranscriptSpec {
+            objects: 3,
+            seconds: 12,
+            ..TranscriptSpec::default()
+        };
+        let t = record_transcript(&spec);
+        let text = t.to_text();
+        assert!(text.starts_with(TRANSCRIPT_HEADER));
+        let back = Transcript::from_text(&text).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.payloads().len(), t.frames.len());
+    }
+
+    #[test]
+    fn parser_rejects_bad_headers_and_skips_comments() {
+        assert!(Transcript::from_text("").is_err());
+        assert!(Transcript::from_text("{\"op\":\"metrics\"}\n").is_err());
+        let t = Transcript::from_text("# ripq-transcript/v1\n\n# note\n{\"op\":\"metrics\"}\n")
+            .unwrap();
+        assert_eq!(t.frames, vec!["{\"op\":\"metrics\"}".to_string()]);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("ripq_transcript_roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt");
+        let t = record_transcript(&TranscriptSpec {
+            objects: 2,
+            seconds: 8,
+            ..TranscriptSpec::default()
+        });
+        t.save(&path).unwrap();
+        assert_eq!(Transcript::load(&path).unwrap(), t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_frame_lands_after_the_requested_tick() {
+        let t = record_transcript(&TranscriptSpec {
+            objects: 2,
+            seconds: 40,
+            tick_every: 10,
+            checkpoint_after: Some(15),
+            ..TranscriptSpec::default()
+        });
+        let idx = t
+            .frames
+            .iter()
+            .position(|f| f == "{\"op\":\"checkpoint\"}")
+            .expect("checkpoint frame present");
+        assert_eq!(t.frames[idx - 1], "{\"op\":\"tick\",\"second\":19}");
+        assert_eq!(
+            t.frames
+                .iter()
+                .filter(|f| *f == "{\"op\":\"checkpoint\"}")
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! `ripq-server` — the streaming indoor spatial query daemon.
+//!
+//! ```text
+//! ripq-server serve --uds /tmp/ripq.sock            # run the daemon
+//! ripq-server record --out transcript.txt           # simulate a client session
+//! ripq-server send --uds /tmp/ripq.sock --transcript transcript.txt
+//! ripq-server replay --transcript transcript.txt    # in-process, no sockets
+//! ```
+//!
+//! `replay` drives the deterministic engine directly and prints one
+//! response frame per line — the format the golden fixtures and the CI
+//! `server` job diff byte-for-byte. `--fail-after-frames N` simulates a
+//! crash for recovery drills; a later `replay --recover` resumes from
+//! the checkpoint directory and emits exactly the uninterrupted
+//! stream's suffix.
+
+use ripq::floorplan::{office_building, OfficeParams};
+use ripq::server::{Endpoint, Server, ServerConfig, ServerCore, ServerRecovery};
+use ripq::sim::transcript::{record_transcript, Transcript, TranscriptSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = args.get(1..).unwrap_or(&[]);
+    let code = match cmd {
+        "serve" => cmd_serve(rest),
+        "record" => cmd_record(rest),
+        "replay" => cmd_replay(rest),
+        "send" => cmd_send(rest),
+        _ => {
+            eprintln!(
+                "usage: ripq-server <serve|record|replay|send> [options]\n\
+                 \n\
+                 serve  (--uds PATH | --tcp ADDR) [--workers N] [--seed N]\n\
+                 \x20      [--checkpoint-dir DIR] [--checkpoint-every-ticks N] [--recover]\n\
+                 \x20      [--metrics-json FILE]\n\
+                 record --out FILE [--seed N] [--objects N] [--seconds N]\n\
+                 \x20      [--tick-every N] [--range-subs N] [--knn-subs N]\n\
+                 \x20      [--checkpoint-after S | --no-checkpoint] [--no-metrics]\n\
+                 replay --transcript FILE [--workers N] [--seed N] [--metrics-json FILE]\n\
+                 \x20      [--checkpoint-dir DIR] [--recover] [--fail-after-frames N]\n\
+                 send   (--uds PATH | --tcp ADDR) --transcript FILE"
+            );
+            if cmd == "help" {
+                0
+            } else {
+                2
+            }
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_or<T: std::str::FromStr>(v: Option<String>, default: T) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn endpoint_from(args: &[String]) -> Option<Endpoint> {
+    if let Some(path) = flag(args, "--uds") {
+        return Some(Endpoint::Uds(path.into()));
+    }
+    flag(args, "--tcp").map(Endpoint::Tcp)
+}
+
+fn server_config(args: &[String]) -> ServerConfig {
+    ServerConfig {
+        seed: parse_or(flag(args, "--seed"), ServerConfig::default().seed),
+        workers: flag(args, "--workers").and_then(|s| s.parse().ok()),
+        checkpoint_every_ticks: parse_or(flag(args, "--checkpoint-every-ticks"), 0),
+        unseen_after: parse_or(flag(args, "--unseen-after"), 60),
+    }
+}
+
+/// Builds the daemon core over the default office plan, wiring the
+/// checkpoint directory and (optionally) recovering a previous life.
+/// Returns the core plus how many input frames recovery already covers.
+fn build_core(args: &[String]) -> Result<(ServerCore, u64), String> {
+    let plan = office_building(&OfficeParams::default()).map_err(|e| e.to_string())?;
+    let mut core = ServerCore::new(plan, server_config(args));
+    let checkpoint_dir = flag(args, "--checkpoint-dir");
+    let recover = args.iter().any(|a| a == "--recover");
+    let mut skip = 0;
+    if let Some(dir) = &checkpoint_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        if recover {
+            match core.recover(dir).map_err(|e| e.to_string())? {
+                ServerRecovery::ColdStart => eprintln!("recovery: cold start"),
+                ServerRecovery::Resumed {
+                    skip_frames,
+                    lines_emitted,
+                } => {
+                    eprintln!(
+                        "recovery: resumed past {skip_frames} frames / {lines_emitted} lines"
+                    );
+                    skip = skip_frames;
+                }
+                ServerRecovery::Quarantined { path } => {
+                    eprintln!(
+                        "recovery: damaged snapshot quarantined to {}; starting cold",
+                        path.display()
+                    );
+                    let plan =
+                        office_building(&OfficeParams::default()).map_err(|e| e.to_string())?;
+                    core = ServerCore::new(plan, server_config(args));
+                    core.set_checkpoint_dir(dir);
+                }
+            }
+        } else {
+            core.set_checkpoint_dir(dir);
+        }
+    } else if recover {
+        return Err("--recover needs --checkpoint-dir".to_string());
+    }
+    Ok((core, skip))
+}
+
+fn write_metrics(args: &[String], core: &ServerCore) -> Result<(), String> {
+    if let Some(path) = flag(args, "--metrics-json") {
+        std::fs::write(&path, core.metrics_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote metrics to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let Some(endpoint) = endpoint_from(args) else {
+        eprintln!("error: serve needs --uds PATH or --tcp ADDR");
+        return 2;
+    };
+    let (mut core, _) = match build_core(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let server = match Server::bind(&endpoint) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    match server.endpoint() {
+        Endpoint::Tcp(addr) => println!("listening tcp:{addr}"),
+        Endpoint::Uds(path) => println!("listening uds:{}", path.display()),
+    }
+    if let Err(e) = server.serve(&mut core) {
+        eprintln!("error: {e}");
+        return 1;
+    }
+    eprintln!(
+        "shutdown after {} frames / {} lines",
+        core.frames_processed(),
+        core.lines_emitted()
+    );
+    if let Err(e) = write_metrics(args, &core) {
+        eprintln!("error: {e}");
+        return 1;
+    }
+    0
+}
+
+fn cmd_record(args: &[String]) -> i32 {
+    let Some(out) = flag(args, "--out") else {
+        eprintln!("error: record needs --out FILE");
+        return 2;
+    };
+    let defaults = TranscriptSpec::default();
+    let spec = TranscriptSpec {
+        seed: parse_or(flag(args, "--seed"), defaults.seed),
+        objects: parse_or(flag(args, "--objects"), defaults.objects),
+        seconds: parse_or(flag(args, "--seconds"), defaults.seconds),
+        tick_every: parse_or(flag(args, "--tick-every"), defaults.tick_every),
+        range_subs: parse_or(flag(args, "--range-subs"), defaults.range_subs),
+        knn_subs: parse_or(flag(args, "--knn-subs"), defaults.knn_subs),
+        checkpoint_after: if args.iter().any(|a| a == "--no-checkpoint") {
+            None
+        } else {
+            Some(parse_or(
+                flag(args, "--checkpoint-after"),
+                defaults.checkpoint_after.unwrap_or(60),
+            ))
+        },
+        metrics_frame: !args.iter().any(|a| a == "--no-metrics"),
+    };
+    let transcript = record_transcript(&spec);
+    if let Err(e) = transcript.save(std::path::Path::new(&out)) {
+        eprintln!("error: {out}: {e}");
+        return 1;
+    }
+    eprintln!("recorded {} frames to {out}", transcript.frames.len());
+    0
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    let Some(path) = flag(args, "--transcript") else {
+        eprintln!("error: replay needs --transcript FILE");
+        return 2;
+    };
+    let transcript = match Transcript::load(std::path::Path::new(&path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let (mut core, skip) = match build_core(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let fail_after: Option<u64> = flag(args, "--fail-after-frames").and_then(|s| s.parse().ok());
+    for (i, frame) in transcript.frames.iter().enumerate().skip(skip as usize) {
+        if fail_after.is_some_and(|n| (i as u64) >= n) {
+            eprintln!("simulated crash before frame {i}");
+            return 3;
+        }
+        for line in core.handle_frame(frame.as_bytes()) {
+            println!("{line}");
+        }
+        if core.is_shutdown() {
+            break;
+        }
+    }
+    if let Err(e) = write_metrics(args, &core) {
+        eprintln!("error: {e}");
+        return 1;
+    }
+    0
+}
+
+fn cmd_send(args: &[String]) -> i32 {
+    let Some(endpoint) = endpoint_from(args) else {
+        eprintln!("error: send needs --uds PATH or --tcp ADDR");
+        return 2;
+    };
+    let Some(path) = flag(args, "--transcript") else {
+        eprintln!("error: send needs --transcript FILE");
+        return 2;
+    };
+    let transcript = match Transcript::load(std::path::Path::new(&path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    match ripq::server::send_frames(&endpoint, &transcript.payloads()) {
+        Ok(lines) => {
+            for line in &lines {
+                println!("{line}");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}

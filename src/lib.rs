@@ -39,5 +39,6 @@ pub use ripq_obs as obs;
 pub use ripq_persist as persist;
 pub use ripq_pf as pf;
 pub use ripq_rfid as rfid;
+pub use ripq_server as server;
 pub use ripq_sim as sim;
 pub use ripq_symbolic as symbolic;

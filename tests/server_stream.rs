@@ -1,0 +1,308 @@
+//! Streaming-server transcript replay: the determinism headline and the
+//! crash-recovery continuity contract.
+//!
+//! * Replaying a recorded transcript produces **byte-identical** response
+//!   lines and metrics JSON across repeated runs and across worker
+//!   counts 1/2/4.
+//! * The canonical fixture pair (`tests/fixtures/server_transcript.txt`
+//!   → `tests/fixtures/expected_server_deltas.txt`) pins the full
+//!   response stream. Regenerate after an intentional change with
+//!
+//!   ```text
+//!   RIPQ_REGEN_GOLDEN=1 cargo test --test server_stream
+//!   ```
+//!
+//! * Killing the server mid-transcript and recovering from
+//!   `system.ckpt` + `server.ckpt` resumes the stream byte-equal to the
+//!   uninterrupted golden's suffix.
+
+use ripq::floorplan::{office_building, OfficeParams};
+use ripq::server::{encode_frame, ServerConfig, ServerCore, ServerRecovery};
+use ripq::sim::transcript::{record_transcript, Transcript, TranscriptSpec};
+use std::path::{Path, PathBuf};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ripq_server_stream_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// The spec behind the committed fixtures. `metrics_frame` is off so the
+/// recovery test can demand byte-equality of the whole resumed suffix
+/// (restored metrics counters legitimately encode a different history).
+fn fixture_spec() -> TranscriptSpec {
+    TranscriptSpec {
+        seed: 0x51E9,
+        objects: 8,
+        seconds: 60,
+        tick_every: 10,
+        range_subs: 2,
+        knn_subs: 1,
+        checkpoint_after: Some(30),
+        metrics_frame: false,
+    }
+}
+
+fn fresh_core(workers: Option<usize>) -> ServerCore {
+    let plan = office_building(&OfficeParams::default()).expect("default office plan");
+    ServerCore::new(
+        plan,
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+}
+
+/// Replays all frames through a core, returning (response lines, final
+/// metrics JSON).
+fn replay(
+    frames: &[String],
+    workers: Option<usize>,
+    checkpoint_dir: Option<&Path>,
+) -> (Vec<String>, String) {
+    let mut core = fresh_core(workers);
+    if let Some(dir) = checkpoint_dir {
+        core.set_checkpoint_dir(dir);
+    }
+    let mut lines = Vec::new();
+    for frame in frames {
+        lines.extend(core.handle_frame(frame.as_bytes()));
+        if core.is_shutdown() {
+            break;
+        }
+    }
+    let metrics = core.metrics_json();
+    (lines, metrics)
+}
+
+/// The determinism headline, enforced at tier 1: byte-identical delta
+/// output and metrics snapshots across repeated runs and worker counts
+/// 1, 2 and 4.
+#[test]
+fn transcript_replay_is_byte_identical_across_runs_and_workers() {
+    let transcript = record_transcript(&TranscriptSpec {
+        objects: 6,
+        seconds: 40,
+        checkpoint_after: None,
+        ..TranscriptSpec::default()
+    });
+    let (base_lines, base_metrics) = replay(&transcript.frames, Some(1), None);
+    assert!(
+        base_lines.iter().any(|l| l.starts_with("{\"delta\":")),
+        "scenario must produce deltas"
+    );
+    assert!(base_lines
+        .iter()
+        .any(|l| l.starts_with("{\"counters\"") || l.contains("\"counters\"")));
+    for workers in [Some(1), Some(2), Some(4)] {
+        for run in 0..2 {
+            let (lines, metrics) = replay(&transcript.frames, workers, None);
+            assert_eq!(
+                lines, base_lines,
+                "run {run} with workers {workers:?} diverged"
+            );
+            assert_eq!(metrics, base_metrics, "metrics diverged ({workers:?})");
+        }
+    }
+}
+
+/// Feeding the same transcript as a framed byte stream (through the
+/// embedded decoder, in awkward chunk sizes) is the same computation as
+/// frame-at-a-time replay.
+#[test]
+fn framed_byte_stream_matches_frame_replay() {
+    let transcript = record_transcript(&TranscriptSpec {
+        objects: 5,
+        seconds: 30,
+        checkpoint_after: None,
+        ..TranscriptSpec::default()
+    });
+    let (expected, _) = replay(&transcript.frames, None, None);
+    let mut wire = Vec::new();
+    for payload in transcript.payloads() {
+        wire.extend_from_slice(&encode_frame(&payload));
+    }
+    let mut core = fresh_core(None);
+    let mut lines = Vec::new();
+    for chunk in wire.chunks(257) {
+        lines.extend(core.ingest_bytes(chunk));
+    }
+    lines.extend(core.finish_input());
+    assert_eq!(lines, expected);
+}
+
+/// The committed transcript fixture replays to the committed golden,
+/// byte for byte.
+#[test]
+fn golden_fixture_replay() {
+    let transcript_path = fixture_path("server_transcript.txt");
+    let golden_path = fixture_path("expected_server_deltas.txt");
+    let regen = std::env::var_os("RIPQ_REGEN_GOLDEN").is_some();
+
+    let transcript = if regen {
+        let t = record_transcript(&fixture_spec());
+        t.save(&transcript_path).expect("write transcript fixture");
+        eprintln!("regenerated {}", transcript_path.display());
+        t
+    } else {
+        Transcript::load(&transcript_path)
+            .expect("missing transcript fixture; run with RIPQ_REGEN_GOLDEN=1 to create it")
+    };
+
+    let dir = temp_dir("golden");
+    let (lines, _) = replay(&transcript.frames, None, Some(&dir));
+    let mut actual = lines.join("\n");
+    actual.push('\n');
+
+    if regen {
+        std::fs::write(&golden_path, &actual).expect("write golden fixture");
+        eprintln!("regenerated {}", golden_path.display());
+    } else {
+        let expected = std::fs::read_to_string(&golden_path)
+            .expect("missing golden fixture; run with RIPQ_REGEN_GOLDEN=1 to create it");
+        assert_eq!(
+            expected, actual,
+            "server response stream drifted from the golden fixture; if \
+             intentional, regenerate with RIPQ_REGEN_GOLDEN=1 cargo test --test server_stream"
+        );
+    }
+    assert!(
+        lines.iter().any(|l| l.starts_with("{\"delta\":")),
+        "golden scenario must exercise deltas"
+    );
+    assert!(
+        lines.iter().any(|l| l == "{\"ok\":\"checkpoint\"}"),
+        "golden scenario must checkpoint"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill the server mid-transcript (after the checkpoint), recover a
+/// fresh instance from `system.ckpt` + `server.ckpt`, replay the rest:
+/// the resumed stream must be byte-equal to the uninterrupted golden
+/// from the checkpoint's line offset on.
+#[test]
+fn crash_recovery_resumes_the_golden_stream() {
+    if std::env::var_os("RIPQ_REGEN_GOLDEN").is_some() {
+        // Fixtures are being rewritten by `golden_fixture_replay` in
+        // this same run; test order is not deterministic.
+        return;
+    }
+    let transcript = Transcript::load(&fixture_path("server_transcript.txt"))
+        .expect("transcript fixture (regenerate with RIPQ_REGEN_GOLDEN=1)");
+    let golden = std::fs::read_to_string(fixture_path("expected_server_deltas.txt"))
+        .expect("golden fixture (regenerate with RIPQ_REGEN_GOLDEN=1)");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+
+    let checkpoint_frame = transcript
+        .frames
+        .iter()
+        .position(|f| f == "{\"op\":\"checkpoint\"}")
+        .expect("fixture contains a checkpoint frame");
+    // Die a few frames past the checkpoint — mid-transcript, no shutdown.
+    let kill_at = (checkpoint_frame + 4).min(transcript.frames.len() - 2);
+
+    let dir = temp_dir("recovery");
+    let mut life1 = fresh_core(None);
+    life1.set_checkpoint_dir(&dir);
+    let mut life1_lines = Vec::new();
+    for frame in &transcript.frames[..kill_at] {
+        life1_lines.extend(life1.handle_frame(frame.as_bytes()));
+    }
+    assert!(!life1.is_shutdown(), "must die before the shutdown frame");
+    // Sanity: the first life tracked the golden exactly while it lived.
+    assert_eq!(
+        life1_lines,
+        golden_lines[..life1_lines.len()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+    );
+    drop(life1); // the crash
+
+    let mut life2 = fresh_core(None);
+    let outcome = life2.recover(&dir).expect("recovery succeeds");
+    let ServerRecovery::Resumed {
+        skip_frames,
+        lines_emitted,
+    } = outcome
+    else {
+        panic!("expected Resumed, got {outcome:?}");
+    };
+    assert!(skip_frames > 0 && (skip_frames as usize) <= kill_at);
+    assert!(lines_emitted > 0 && (lines_emitted as usize) <= life1_lines.len());
+
+    let mut resumed = Vec::new();
+    for frame in &transcript.frames[skip_frames as usize..] {
+        resumed.extend(life2.handle_frame(frame.as_bytes()));
+        if life2.is_shutdown() {
+            break;
+        }
+    }
+    let expected_suffix: Vec<String> = golden_lines[lines_emitted as usize..]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(
+        resumed, expected_suffix,
+        "resumed stream must continue the golden byte-for-byte"
+    );
+    assert!(life2.is_shutdown());
+    assert_eq!(
+        life2.lines_emitted() as usize,
+        golden_lines.len(),
+        "combined lives emit exactly the uninterrupted stream"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A damaged sidecar is quarantined, not trusted: recovery reports it
+/// and a fresh cold-started server replays the whole transcript to the
+/// same golden.
+#[test]
+fn damaged_sidecar_is_quarantined_and_cold_start_matches_golden() {
+    if std::env::var_os("RIPQ_REGEN_GOLDEN").is_some() {
+        return;
+    }
+    let transcript =
+        Transcript::load(&fixture_path("server_transcript.txt")).expect("transcript fixture");
+    let golden = std::fs::read_to_string(fixture_path("expected_server_deltas.txt"))
+        .expect("golden fixture");
+
+    let dir = temp_dir("quarantine");
+    let mut life1 = fresh_core(None);
+    life1.set_checkpoint_dir(&dir);
+    for frame in &transcript.frames[..transcript.frames.len() - 1] {
+        life1.handle_frame(frame.as_bytes());
+    }
+    drop(life1);
+    // Flip a byte near the end of the sidecar.
+    let sidecar = dir.join("server.ckpt");
+    let mut bytes = std::fs::read(&sidecar).expect("sidecar written");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&sidecar, &bytes).expect("corrupt sidecar");
+
+    let mut life2 = fresh_core(None);
+    match life2.recover(&dir).expect("recovery handles damage") {
+        ServerRecovery::Quarantined { path } => {
+            assert!(path.to_string_lossy().contains("corrupt"));
+            assert!(path.exists());
+        }
+        other => panic!("expected Quarantined, got {other:?}"),
+    }
+    // Per the contract, a quarantined core is discarded; cold start.
+    let (lines, _) = replay(&transcript.frames, None, Some(&temp_dir("quarantine2")));
+    let mut actual = lines.join("\n");
+    actual.push('\n');
+    assert_eq!(actual, golden);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -47,6 +47,7 @@ const ALL_LIBS: &[&str] = &[
     "symbolic",
     "core",
     "sim",
+    "server",
 ];
 
 /// The declared layering spec. Order is bottom-up and is the order the
@@ -112,6 +113,13 @@ pub const LAYERS: &[Layer] = &[
             "obs",
         ],
         role: "simulator, ground truth, experiments",
+    },
+    Layer {
+        name: "server",
+        allowed: &["geom", "persist", "floorplan", "rfid", "core"],
+        role: "streaming query daemon: framed ingestion, continuous subscriptions, \
+               executors; must NEVER depend on the simulator (transcripts arrive as \
+               plain frames)",
     },
     Layer {
         name: "bench",
