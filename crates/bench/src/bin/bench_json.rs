@@ -7,7 +7,7 @@
 //!
 //! Scale comes from `RIPQ_SCALE=quick|paper` (default quick), as for
 //! every other bench entry point. Normally invoked through
-//! `cargo xtask bench-json`, which writes `BENCH_9.json` at the
+//! `cargo xtask bench-json`, which writes `BENCH_10.json` at the
 //! workspace root.
 
 use ripq_bench::perf_json::render_bench_json;

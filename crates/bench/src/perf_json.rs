@@ -31,6 +31,7 @@ use ripq_core::{DistanceBackend, IndoorQuerySystem, SystemConfig};
 use ripq_floorplan::{office_building, OfficeParams};
 use ripq_geom::Rect;
 use ripq_rfid::ObjectId;
+use ripq_server::{replay_with_retry, RetryPolicy, ServerConfig, ServerCore};
 use std::fmt::Write as _;
 
 /// Which standing query the probe system carries.
@@ -184,6 +185,96 @@ pub fn knn_cost_reduction(dijkstra: &BackendProbe, alt: &BackendProbe) -> f64 {
     dijkstra.knn_cost_units as f64 / alt.knn_cost_units.max(1) as f64
 }
 
+/// The shed-path logical costs of one flooded streaming session. The
+/// all-zero default (`converged: false`) is the unreachable-error
+/// value — a probe that never ran.
+#[derive(Debug, Clone, Default)]
+pub struct OverloadProbe {
+    /// Data frames the client offered.
+    pub frames_offered: u64,
+    /// `busy` responses the server returned (shed frames + deferred
+    /// ticks).
+    pub busy_lines: u64,
+    /// Retry rounds the backoff client ran.
+    pub retry_rounds: u64,
+    /// Shed frames the client resent.
+    pub frames_resent: u64,
+    /// Logical ticks of client backoff accumulated.
+    pub backoff_ticks: u64,
+    /// Delta lines ultimately delivered.
+    pub delta_lines: u64,
+    /// Whether the retried session's lines byte-matched the unthrottled
+    /// run.
+    pub converged: bool,
+}
+
+/// Floods a server whose admission budget is below the per-interval
+/// frame count and lets the deterministic retry client recover; the
+/// unthrottled twin provides the byte-identity reference. Everything is
+/// logical (seeded readings, logical ticks), so the row is exactly
+/// reproducible.
+pub fn measure_overload(scale: Scale) -> OverloadProbe {
+    let seconds: u64 = match scale {
+        Scale::Paper => 60,
+        Scale::Quick => 30,
+    };
+    let tick_every = 10u64;
+    let budget = 6u64; // 10 data frames per interval vs budget 6 → sheds
+    let build = |max_frames_per_tick: u64| -> Option<ServerCore> {
+        let plan = office_building(&OfficeParams::default()).ok()?;
+        Some(ServerCore::new(
+            plan,
+            ServerConfig {
+                max_frames_per_tick,
+                ..ServerConfig::default()
+            },
+        ))
+    };
+    let Some(mut unthrottled) = build(0) else {
+        return OverloadProbe::default();
+    };
+    let readers = unthrottled.system().readers().len().max(1) as u32;
+    let mut frames =
+        vec!["{\"op\":\"subscribe\",\"sub\":1,\"range\":[-500,-500,1000,1000]}".to_string()];
+    let mut offered = 0u64;
+    for second in 0..seconds {
+        // Four objects hop across readers on a seeded-free rotation:
+        // deterministic by construction.
+        let readings: Vec<String> = (0..4u32)
+            .map(|o| format!("[{o},{}]", (o + second as u32) % readers))
+            .collect();
+        frames.push(format!(
+            "{{\"op\":\"reading\",\"second\":{second},\"readings\":[{}]}}",
+            readings.join(",")
+        ));
+        offered += 1;
+        if (second + 1) % tick_every == 0 {
+            frames.push(format!("{{\"op\":\"tick\",\"second\":{second}}}"));
+        }
+    }
+    let mut expected = Vec::new();
+    for frame in &frames {
+        expected.extend(unthrottled.handle_frame(frame.as_bytes()));
+    }
+    let Some(mut flooded) = build(budget) else {
+        return OverloadProbe::default();
+    };
+    let outcome = replay_with_retry(&mut flooded, &frames, &RetryPolicy::default());
+    OverloadProbe {
+        frames_offered: offered,
+        busy_lines: outcome.busy_lines,
+        retry_rounds: outcome.retry_rounds,
+        frames_resent: outcome.frames_resent,
+        backoff_ticks: outcome.backoff_ticks,
+        delta_lines: outcome
+            .lines
+            .iter()
+            .filter(|l| l.starts_with("{\"delta\":"))
+            .count() as u64,
+        converged: outcome.lines == expected && !outcome.gave_up,
+    }
+}
+
 fn render_probe(out: &mut String, p: &BackendProbe) {
     let _ = write!(
         out,
@@ -202,7 +293,8 @@ fn render_probe(out: &mut String, p: &BackendProbe) {
     );
 }
 
-/// Runs both backends and renders the `BENCH_9.json` document.
+/// Runs both backends plus the overload probe and renders the
+/// `BENCH_10.json` document.
 pub fn render_bench_json(scale: Scale) -> String {
     let dijkstra = measure_backend(scale, DistanceBackend::Dijkstra);
     let alt = measure_backend(scale, DistanceBackend::Alt);
@@ -214,7 +306,7 @@ pub fn render_bench_json(scale: Scale) -> String {
         Scale::Quick => "quick",
     };
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"ripq-bench/v1\",\n  \"pr\": 9,\n");
+    out.push_str("{\n  \"schema\": \"ripq-bench/v1\",\n  \"pr\": 10,\n");
     let _ = writeln!(out, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(
         out,
@@ -233,6 +325,19 @@ pub fn render_bench_json(scale: Scale) -> String {
     out.push_str(",\n");
     render_probe(&mut out, &alt);
     out.push_str("\n  },\n");
+    let overload = measure_overload(scale);
+    let _ = writeln!(
+        out,
+        "  \"overload\": {{ \"frames_offered\": {}, \"busy_lines\": {}, \"retry_rounds\": {}, \
+         \"frames_resent\": {}, \"backoff_ticks\": {}, \"delta_lines\": {}, \"converged\": {} }},",
+        overload.frames_offered,
+        overload.busy_lines,
+        overload.retry_rounds,
+        overload.frames_resent,
+        overload.backoff_ticks,
+        overload.delta_lines,
+        overload.converged,
+    );
     let _ = writeln!(
         out,
         "  \"derived\": {{ \"knn_cost_reduction\": {reduction:.2} }}"
@@ -267,16 +372,30 @@ mod tests {
     }
 
     #[test]
+    fn overload_probe_sheds_and_converges() {
+        let probe = measure_overload(Scale::Quick);
+        assert!(probe.busy_lines > 0, "budget 6 vs 10 frames must shed");
+        assert!(probe.retry_rounds > 0 && probe.frames_resent > 0);
+        assert!(probe.converged, "retried lines must byte-match unthrottled");
+        let again = measure_overload(Scale::Quick);
+        assert_eq!(probe.busy_lines, again.busy_lines);
+        assert_eq!(probe.backoff_ticks, again.backoff_ticks);
+        assert_eq!(probe.delta_lines, again.delta_lines);
+    }
+
+    #[test]
     fn bench_json_has_the_contract_fields() {
         let doc = render_bench_json(Scale::Quick);
         for key in [
             "\"schema\": \"ripq-bench/v1\"",
-            "\"pr\": 9",
+            "\"pr\": 10",
             "\"dijkstra\":",
             "\"alt\":",
             "\"wall_ns\"",
             "\"knn_cost_units\"",
             "\"knn_cost_reduction\"",
+            "\"overload\":",
+            "\"converged\": true",
         ] {
             assert!(doc.contains(key), "missing {key} in:\n{doc}");
         }

@@ -445,6 +445,16 @@ impl IndoorQuerySystem {
     /// Runs the full pipeline at time `now`: candidate pruning →
     /// particle-filter preprocessing (with cache) → query evaluation.
     pub fn evaluate(&mut self, now: u64) -> EvaluationReport {
+        self.evaluate_budgeted(now, self.config.query_budget)
+    }
+
+    /// [`IndoorQuerySystem::evaluate`] with a per-pass deadline budget
+    /// overriding [`SystemConfig::query_budget`] for this call only —
+    /// the hook behind per-request deadlines in the streaming server.
+    /// `None` disables budgeting for the pass even when the config sets
+    /// a budget; callers wanting the configured default should use
+    /// [`IndoorQuerySystem::evaluate`].
+    pub fn evaluate_budgeted(&mut self, now: u64, budget: Option<u64>) -> EvaluationReport {
         let clock = Clock::new(self.config.timing);
         let t_start = clock.now();
         let objects_known = self.collector.objects().count();
@@ -578,7 +588,7 @@ impl IndoorQuerySystem {
         .with_recorder(&self.recorder);
         let cache = self.config.use_cache.then(|| self.cache.shared());
         let supervision = SupervisionOptions {
-            budget: self.config.query_budget,
+            budget,
             panic_object: self.injected_fault.map(|(o, _)| o),
             panic_attempts: self.injected_fault.map_or(1, |(_, a)| a),
             ..SupervisionOptions::default()

@@ -9,6 +9,8 @@
 //! restarted server resume the delta stream byte-exactly where the
 //! previous life checkpointed.
 
+use crate::executor::ServerEvent;
+use crate::supervisor::{BreakerState, DeadLetter};
 use ripq_core::continuous::{SubscriptionKind, SubscriptionRegistry};
 use ripq_core::ResultSet;
 use ripq_geom::{Point2, Rect};
@@ -19,8 +21,10 @@ use ripq_rfid::ObjectId;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-/// Sidecar format version.
-const VERSION: u8 = 1;
+/// Sidecar format version. v2 appends the executor supervision section
+/// (circuit-breaker states + dead-letter queue); v1 files still decode,
+/// with those sections empty.
+const VERSION: u8 = 2;
 
 /// `<dir>/server.ckpt`.
 pub fn sidecar_path(dir: &Path) -> PathBuf {
@@ -42,6 +46,11 @@ pub struct SidecarState {
     pub unseen_alerted: BTreeSet<ObjectId>,
     /// Open subscriptions: `(sub id, kind, maintained result)`, id-ordered.
     pub subscriptions: Vec<(u64, SubscriptionKind, ResultSet)>,
+    /// Per-executor supervision state: `(name, consecutive failures,
+    /// breaker)`, in executor registration order. v2+.
+    pub executor_states: Vec<(String, u32, BreakerState)>,
+    /// Undelivered events pending surfacing or drain, oldest first. v2+.
+    pub dead_letters: Vec<DeadLetter>,
 }
 
 impl SidecarState {
@@ -52,6 +61,8 @@ impl SidecarState {
         last_tick: Option<u64>,
         unseen_alerted: &BTreeSet<ObjectId>,
         registry: &SubscriptionRegistry,
+        executor_states: Vec<(String, u32, BreakerState)>,
+        dead_letters: Vec<DeadLetter>,
     ) -> Self {
         SidecarState {
             frames_processed,
@@ -62,6 +73,8 @@ impl SidecarState {
                 .iter()
                 .map(|(id, s)| (id, s.kind, s.current().clone()))
                 .collect(),
+            executor_states,
+            dead_letters,
         }
     }
 
@@ -99,12 +112,65 @@ impl SidecarState {
                 w.put_u64(pr.to_bits());
             }
         }
+        w.put_seq_len(self.executor_states.len());
+        for (name, failures, breaker) in &self.executor_states {
+            w.put_str(name);
+            w.put_u32(*failures);
+            match breaker {
+                // HalfOpen is transient and normalized to Closed on
+                // restore, so it persists as Closed.
+                BreakerState::Closed | BreakerState::HalfOpen => w.put_u8(0),
+                BreakerState::Open { until_tick } => {
+                    w.put_u8(1);
+                    w.put_u64(*until_tick);
+                }
+            }
+        }
+        w.put_seq_len(self.dead_letters.len());
+        for letter in &self.dead_letters {
+            w.put_str(&letter.executor);
+            match letter.event {
+                ServerEvent::GeofenceEntered {
+                    sub,
+                    object,
+                    second,
+                } => {
+                    w.put_u8(0);
+                    w.put_u64(sub);
+                    w.put_u32(object.raw());
+                    w.put_u64(second);
+                }
+                ServerEvent::GeofenceLeft {
+                    sub,
+                    object,
+                    second,
+                } => {
+                    w.put_u8(1);
+                    w.put_u64(sub);
+                    w.put_u32(object.raw());
+                    w.put_u64(second);
+                }
+                ServerEvent::ObjectUnseen {
+                    object,
+                    second,
+                    last_seen,
+                } => {
+                    w.put_u8(2);
+                    w.put_u32(object.raw());
+                    w.put_u64(second);
+                    w.put_u64(last_seen);
+                }
+            }
+            w.put_u64(letter.second);
+            w.put_str(&letter.reason);
+        }
         w.into_bytes()
     }
 
     fn decode(payload: &[u8]) -> Result<Self, PersistError> {
         let mut r = ByteReader::new(payload);
-        if r.get_u8()? != VERSION {
+        let version = r.get_u8()?;
+        if version == 0 || version > VERSION {
             return Err(PersistError::Torn);
         }
         let frames_processed = r.get_u64()?;
@@ -146,6 +212,55 @@ impl SidecarState {
             }
             subscriptions.push((sub, kind, current));
         }
+        let mut executor_states = Vec::new();
+        let mut dead_letters = Vec::new();
+        if version >= 2 {
+            let n_exec = r.get_seq_len(6)?;
+            executor_states.reserve(n_exec);
+            for _ in 0..n_exec {
+                let name = r.get_str()?;
+                let failures = r.get_u32()?;
+                let breaker = match r.get_u8()? {
+                    0 => BreakerState::Closed,
+                    1 => BreakerState::Open {
+                        until_tick: r.get_u64()?,
+                    },
+                    _ => return Err(PersistError::Torn),
+                };
+                executor_states.push((name, failures, breaker));
+            }
+            let n_letters = r.get_seq_len(15)?;
+            dead_letters.reserve(n_letters);
+            for _ in 0..n_letters {
+                let executor = r.get_str()?;
+                let event = match r.get_u8()? {
+                    0 => ServerEvent::GeofenceEntered {
+                        sub: r.get_u64()?,
+                        object: ObjectId::new(r.get_u32()?),
+                        second: r.get_u64()?,
+                    },
+                    1 => ServerEvent::GeofenceLeft {
+                        sub: r.get_u64()?,
+                        object: ObjectId::new(r.get_u32()?),
+                        second: r.get_u64()?,
+                    },
+                    2 => ServerEvent::ObjectUnseen {
+                        object: ObjectId::new(r.get_u32()?),
+                        second: r.get_u64()?,
+                        last_seen: r.get_u64()?,
+                    },
+                    _ => return Err(PersistError::Torn),
+                };
+                let second = r.get_u64()?;
+                let reason = r.get_str()?;
+                dead_letters.push(DeadLetter {
+                    executor,
+                    event,
+                    second,
+                    reason,
+                });
+            }
+        }
         if r.remaining() != 0 {
             return Err(PersistError::Torn);
         }
@@ -155,6 +270,8 @@ impl SidecarState {
             last_tick,
             unseen_alerted,
             subscriptions,
+            executor_states,
+            dead_letters,
         })
     }
 
@@ -211,6 +328,32 @@ mod tests {
                     ResultSet::new(),
                 ),
             ],
+            executor_states: vec![
+                ("frames".to_string(), 0, BreakerState::Closed),
+                ("ack".to_string(), 3, BreakerState::Open { until_tick: 42 }),
+            ],
+            dead_letters: vec![
+                DeadLetter {
+                    executor: "ack".to_string(),
+                    event: ServerEvent::GeofenceEntered {
+                        sub: 1,
+                        object: ObjectId::new(3),
+                        second: 30,
+                    },
+                    second: 30,
+                    reason: "panic: ack wedged".to_string(),
+                },
+                DeadLetter {
+                    executor: "ack".to_string(),
+                    event: ServerEvent::ObjectUnseen {
+                        object: ObjectId::new(2),
+                        second: 31,
+                        last_seen: 12,
+                    },
+                    second: 31,
+                    reason: "circuit open until tick 42".to_string(),
+                },
+            ],
         }
     }
 
@@ -254,5 +397,36 @@ mod tests {
         let mut wrong = state.encode();
         wrong[0] = VERSION + 1;
         assert!(SidecarState::decode(&wrong).is_err(), "future version");
+        let mut zero = state.encode();
+        zero[0] = 0;
+        assert!(SidecarState::decode(&zero).is_err(), "version zero");
+    }
+
+    #[test]
+    fn v1_sidecars_decode_with_empty_supervision_sections() {
+        // A v1 payload is exactly a v2 payload with empty supervision
+        // sections, minus the two trailing zero seq-lens, with the
+        // version byte rolled back.
+        let mut state = sample();
+        state.executor_states.clear();
+        state.dead_letters.clear();
+        let mut bytes = state.encode();
+        bytes[0] = 1;
+        bytes.truncate(bytes.len() - 8);
+        let decoded = SidecarState::decode(&bytes).expect("v1 payload must decode");
+        assert_eq!(decoded, state);
+        assert!(decoded.executor_states.is_empty());
+        assert!(decoded.dead_letters.is_empty());
+    }
+
+    #[test]
+    fn half_open_breaker_persists_as_closed() {
+        let mut state = sample();
+        state.executor_states = vec![("probe".to_string(), 1, BreakerState::HalfOpen)];
+        let decoded = SidecarState::decode(&state.encode()).unwrap();
+        assert_eq!(
+            decoded.executor_states,
+            vec![("probe".to_string(), 1, BreakerState::Closed)]
+        );
     }
 }

@@ -11,14 +11,18 @@
 use crate::checkpoint::{quarantine_sidecar, SidecarState};
 use crate::executor::{Executor, FrameExecutor, ServerEvent};
 use crate::frame::FrameDecoder;
-use crate::protocol::{parse_request, render_delta, render_error, render_ok, Request};
+use crate::json;
+use crate::protocol::{parse_request, render_busy, render_delta, render_error, render_ok, Request};
+use crate::supervisor::{DeadLetter, DispatchOutcome, SupervisedExecutor, SupervisorPolicy};
 use ripq_core::clock::TimingMode;
 use ripq_core::continuous::{SubscriptionKind, SubscriptionRegistry};
-use ripq_core::{IndoorQuerySystem, Recorder, RecoveryOutcome, RipqError, SystemConfig};
+use ripq_core::{
+    DegradationLevel, IndoorQuerySystem, Recorder, RecoveryOutcome, RipqError, SystemConfig,
+};
 use ripq_floorplan::FloorPlan;
 use ripq_persist::PersistError;
 use ripq_rfid::ObjectId;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::path::{Path, PathBuf};
 
 /// Server behavior knobs. Everything else — timing, observability —
@@ -36,6 +40,24 @@ pub struct ServerConfig {
     /// Seconds of reader silence after which an object fires
     /// [`ServerEvent::ObjectUnseen`] (re-armed by re-detection).
     pub unseen_after: u64,
+    /// Admission control: data frames (`reading`/`raw`) accepted per
+    /// tick interval; excess frames get a typed `busy` response with a
+    /// `retry_after_ticks` hint (0 = unbounded).
+    pub max_frames_per_tick: u64,
+    /// Admission control: open-subscription cap; excess `subscribe`
+    /// frames get a `busy` response (0 = unbounded).
+    pub max_subscriptions: u64,
+    /// Admission control: response bytes (framed) per connection; once a
+    /// connection has exceeded the cap, further data frames on it are
+    /// shed (0 = unbounded). Only meaningful on the byte-stream path —
+    /// direct `handle_frame` replay has no connection.
+    pub max_conn_response_bytes: u64,
+    /// Default per-tick evaluation deadline, overridable per request by
+    /// the protocol's `budget` field (None = no deadline).
+    pub query_budget: Option<u64>,
+    /// Executor supervision: retry, circuit-breaker and dead-letter
+    /// bounds.
+    pub supervisor: SupervisorPolicy,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +67,11 @@ impl Default for ServerConfig {
             workers: None,
             checkpoint_every_ticks: 0,
             unseen_after: 60,
+            max_frames_per_tick: 0,
+            max_subscriptions: 0,
+            max_conn_response_bytes: 0,
+            query_budget: None,
+            supervisor: SupervisorPolicy::default(),
         }
     }
 }
@@ -62,6 +89,7 @@ impl ServerConfig {
             // `checkpoint_every_ticks`); the facade's per-second
             // auto-checkpoint stays off so the two never interleave.
             checkpoint_every: 0,
+            query_budget: self.query_budget,
             ..SystemConfig::default()
         }
     }
@@ -93,7 +121,7 @@ pub enum ServerRecovery {
 pub struct ServerCore {
     system: IndoorQuerySystem,
     registry: SubscriptionRegistry,
-    executors: Vec<Box<dyn Executor>>,
+    executors: Vec<SupervisedExecutor>,
     recorder: Recorder,
     decoder: FrameDecoder,
     config: ServerConfig,
@@ -106,6 +134,19 @@ pub struct ServerCore {
     auto_checkpoint_due: bool,
     last_checkpoint_error: Option<String>,
     shutdown: bool,
+    /// Data frames admitted since the last tick attempt (admission
+    /// window for `max_frames_per_tick`).
+    frames_this_interval: u64,
+    /// Whether anything was shed since the last tick attempt. A tick
+    /// arriving with this set is itself deferred (busy) — and refills
+    /// the budget — so every *evaluated* tick saw a complete interval.
+    shed_since_tick: bool,
+    /// Framed response bytes emitted on the current byte-stream
+    /// connection (for `max_conn_response_bytes`).
+    conn_response_bytes: u64,
+    /// Undelivered executor events, oldest first, capacity-bounded by
+    /// [`SupervisorPolicy::dead_letter_capacity`].
+    dead_letters: VecDeque<DeadLetter>,
 }
 
 impl ServerCore {
@@ -117,7 +158,7 @@ impl ServerCore {
         ServerCore {
             system,
             registry: SubscriptionRegistry::new(),
-            executors: vec![Box::new(FrameExecutor)],
+            executors: vec![SupervisedExecutor::new(Box::new(FrameExecutor))],
             recorder,
             decoder: FrameDecoder::new(),
             config,
@@ -130,13 +171,17 @@ impl ServerCore {
             auto_checkpoint_due: false,
             last_checkpoint_error: None,
             shutdown: false,
+            frames_this_interval: 0,
+            shed_since_tick: false,
+            conn_response_bytes: 0,
+            dead_letters: VecDeque::new(),
         }
     }
 
     /// Installs an additional executor (runs after the built-ins, in
-    /// installation order).
+    /// installation order), wrapped with supervision.
     pub fn push_executor(&mut self, executor: Box<dyn Executor>) {
-        self.executors.push(executor);
+        self.executors.push(SupervisedExecutor::new(executor));
     }
 
     /// Removes every installed executor (including the built-in frame
@@ -182,6 +227,21 @@ impl ServerCore {
     /// automatic checkpoint, if any.
     pub fn last_checkpoint_error(&self) -> Option<&str> {
         self.last_checkpoint_error.as_deref()
+    }
+
+    /// The pending dead letters, oldest first (read access; the
+    /// `dead_letters` protocol op lists or drains them).
+    pub fn dead_letters(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.dead_letters.iter()
+    }
+
+    /// Names of executors whose circuit breaker is currently open.
+    pub fn quarantined_executors(&self) -> Vec<&'static str> {
+        self.executors
+            .iter()
+            .filter(|e| e.is_quarantined())
+            .map(|e| e.name())
+            .collect()
     }
 
     /// The current cumulative metrics snapshot as deterministic JSON.
@@ -234,6 +294,19 @@ impl ServerCore {
         }
         self.recorder
             .set_gauge("server.subscriptions_active", self.registry.len() as u64);
+        // Supervision state: match persisted breaker states to the
+        // installed executors by stable name; states for executors no
+        // longer installed are dropped (their dead letters survive).
+        for (name, failures, breaker) in state.executor_states {
+            if let Some(executor) = self.executors.iter_mut().find(|e| e.name() == name) {
+                executor.restore(failures, breaker);
+            }
+        }
+        self.dead_letters = state.dead_letters.into();
+        self.recorder.set_gauge(
+            "server.executor.quarantined",
+            self.executors.iter().filter(|e| e.is_quarantined()).count() as u64,
+        );
         self.frames_processed = state.frames_processed;
         self.lines_emitted = state.lines_emitted;
         self.last_tick = state.last_tick;
@@ -263,6 +336,11 @@ impl ServerCore {
                 }
             }
         }
+        // Account framed response bytes against the per-connection cap
+        // (4-byte length prefix per line on the wire).
+        for line in &out {
+            self.conn_response_bytes += line.len() as u64 + 4;
+        }
         out
     }
 
@@ -279,6 +357,7 @@ impl ServerCore {
             }
         };
         self.decoder.reset();
+        self.conn_response_bytes = 0;
         out
     }
 
@@ -311,7 +390,55 @@ impl ServerCore {
         out
     }
 
+    /// The admission gate: decides whether `request` is shed under the
+    /// configured overload limits, returning the `busy` line if so. Data
+    /// frames are bounded per tick interval (and by the connection byte
+    /// cap); subscribes by the registry cap. Any shed arms tick
+    /// deferral, so the next tick refills the budget instead of
+    /// evaluating a torn interval.
+    fn admission(&mut self, request: &Request) -> Option<String> {
+        let (op, second) = match request {
+            Request::Readings { second, .. } => ("reading", Some(*second)),
+            Request::Raw { second, .. } => ("raw", Some(*second)),
+            Request::Subscribe { sub, .. } => {
+                if self.config.max_subscriptions > 0
+                    && self.registry.len() as u64 >= self.config.max_subscriptions
+                {
+                    self.recorder.add("server.overload.subscriptions_shed", 1);
+                    self.recorder.add("server.overload.busy_responses", 1);
+                    self.shed_since_tick = true;
+                    return Some(render_busy("subscribe", &[("sub", sub.to_string())], 1));
+                }
+                return None;
+            }
+            _ => return None,
+        };
+        let second = second.unwrap_or(0);
+        if self.config.max_conn_response_bytes > 0
+            && self.conn_response_bytes >= self.config.max_conn_response_bytes
+        {
+            self.recorder.add("server.overload.conn_bytes_shed", 1);
+            self.recorder.add("server.overload.busy_responses", 1);
+            self.shed_since_tick = true;
+            return Some(render_busy(op, &[("second", second.to_string())], 1));
+        }
+        if self.config.max_frames_per_tick > 0 {
+            if self.frames_this_interval >= self.config.max_frames_per_tick {
+                self.recorder.add("server.overload.frames_shed", 1);
+                self.recorder.add("server.overload.busy_responses", 1);
+                self.shed_since_tick = true;
+                return Some(render_busy(op, &[("second", second.to_string())], 1));
+            }
+            self.frames_this_interval += 1;
+        }
+        None
+    }
+
     fn dispatch(&mut self, request: Request, out: &mut Vec<String>) {
+        if let Some(busy) = self.admission(&request) {
+            out.push(busy);
+            return;
+        }
         match request {
             Request::Readings { second, detections } => {
                 self.system.ingest_detections(second, &detections);
@@ -344,7 +471,29 @@ impl ServerCore {
                 }
                 None => out.push(render_error(&format!("unknown subscription {sub}"))),
             },
-            Request::Tick { second } => self.tick(second, out),
+            Request::Tick { second, budget } => {
+                if self.shed_since_tick {
+                    // Something was shed this interval: the collector
+                    // timeline is incomplete, so evaluating now would
+                    // diverge from the unthrottled stream. Defer the
+                    // tick, refill the budget, and let the client retry
+                    // — resending the shed frames first.
+                    self.shed_since_tick = false;
+                    self.frames_this_interval = 0;
+                    self.recorder.add("server.overload.ticks_deferred", 1);
+                    self.recorder.add("server.overload.busy_responses", 1);
+                    out.push(render_busy("tick", &[("second", second.to_string())], 1));
+                } else {
+                    self.frames_this_interval = 0;
+                    self.tick(second, budget, out);
+                }
+            }
+            Request::DeadLetters { drain } => {
+                out.push(self.render_dead_letters());
+                if drain {
+                    self.dead_letters.clear();
+                }
+            }
             Request::Metrics => out.push(self.metrics_json()),
             Request::Checkpoint => {
                 // Offsets include this frame and its single ack line —
@@ -357,10 +506,62 @@ impl ServerCore {
                 }
             }
             Request::Shutdown => {
+                // Graceful: persist both snapshots before the ack so an
+                // operator-initiated stop never races the checkpoint
+                // cadence. Best-effort — a failed write is surfaced via
+                // counters, never blocks shutdown.
+                if self.checkpoint_dir.is_some() {
+                    let frames_after = self.frames_processed + 1;
+                    let lines_after = self.lines_emitted + out.len() as u64 + 1;
+                    if let Err(e) = self.write_checkpoint(frames_after, lines_after) {
+                        self.recorder.add("server.checkpoint_errors", 1);
+                        self.last_checkpoint_error = Some(e.to_string());
+                    }
+                }
                 self.shutdown = true;
                 out.push(render_ok("shutdown", &[]));
             }
         }
+    }
+
+    /// Renders the dead-letter queue as one deterministic JSON line.
+    fn render_dead_letters(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"dead_letters\":{},\"letters\":[",
+            self.dead_letters.len()
+        );
+        for (i, letter) in self.dead_letters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"executor\":");
+            json::render_str(&letter.executor, &mut out);
+            let _ = write!(
+                out,
+                ",\"event\":\"{}\",\"second\":{},\"reason\":",
+                letter.event.name(),
+                letter.second
+            );
+            json::render_str(&letter.reason, &mut out);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Queues an undeliverable event, evicting the oldest letter (with
+    /// accounting — never silently) when the bounded queue is full.
+    fn push_dead_letter(&mut self, letter: DeadLetter) {
+        let capacity = self.config.supervisor.dead_letter_capacity.max(1);
+        while self.dead_letters.len() >= capacity {
+            self.dead_letters.pop_front();
+            self.recorder.add("server.executor.dead_letters_dropped", 1);
+        }
+        self.dead_letters.push_back(letter);
+        self.recorder.add("server.executor.dead_letters", 1);
     }
 
     fn subscribe(&mut self, sub: u64, kind: SubscriptionKind, out: &mut Vec<String>) {
@@ -389,8 +590,16 @@ impl ServerCore {
         }
     }
 
-    fn tick(&mut self, second: u64, out: &mut Vec<String>) {
-        let report = self.system.evaluate(second);
+    fn tick(&mut self, second: u64, budget: Option<u64>, out: &mut Vec<String>) {
+        let effective_budget = budget.or(self.config.query_budget);
+        let report = self.system.evaluate_budgeted(second, effective_budget);
+        let worst_degradation = report
+            .degradation
+            .values()
+            .chain(report.object_degradation.values())
+            .copied()
+            .max()
+            .unwrap_or(DegradationLevel::Full);
         let deltas = self.registry.deltas(&report);
         let mut events: Vec<ServerEvent> = Vec::new();
         for (sub, delta) in &deltas {
@@ -450,19 +659,36 @@ impl ServerCore {
             .add("server.deltas_emitted", deltas.len() as u64);
         self.recorder
             .add("server.events_fired", events.len() as u64);
+        let seed = self.config.seed;
+        let policy = self.config.supervisor;
+        let mut letters = Vec::new();
         for event in &events {
             for executor in &mut self.executors {
-                out.extend(executor.on_event(event));
+                match executor.dispatch(event, second, &policy, seed, &self.recorder) {
+                    DispatchOutcome::Delivered(frames) => out.extend(frames),
+                    DispatchOutcome::DeadLettered(letter) => letters.push(letter),
+                }
             }
         }
-        out.push(render_ok(
-            "tick",
-            &[
-                ("second", second.to_string()),
-                ("deltas", deltas.len().to_string()),
-                ("events", events.len().to_string()),
-            ],
-        ));
+        for letter in letters {
+            self.push_dead_letter(letter);
+        }
+        self.recorder.set_gauge(
+            "server.executor.quarantined",
+            self.executors.iter().filter(|e| e.is_quarantined()).count() as u64,
+        );
+        let mut ack_fields = vec![
+            ("second", second.to_string()),
+            ("deltas", deltas.len().to_string()),
+            ("events", events.len().to_string()),
+        ];
+        // The degradation tag appears only when a per-request deadline
+        // was supplied or evaluation actually degraded — existing golden
+        // transcripts (no budget, Full fidelity) are unchanged.
+        if budget.is_some() || worst_degradation > DegradationLevel::Full {
+            ack_fields.push(("degradation", format!("\"{worst_degradation}\"")));
+        }
+        out.push(render_ok("tick", &ack_fields));
         self.last_tick = Some(second);
         if self.config.checkpoint_every_ticks > 0 && self.checkpoint_dir.is_some() {
             self.ticks_since_checkpoint += 1;
@@ -492,6 +718,11 @@ impl ServerCore {
             self.last_tick,
             &self.unseen_alerted,
             &self.registry,
+            self.executors
+                .iter()
+                .map(|e| (e.name().to_string(), e.consecutive_failures, e.breaker))
+                .collect(),
+            self.dead_letters.iter().cloned().collect(),
         )
         .save(&dir)
         .map_err(|e| RipqError::Io(format!("server.ckpt: {e}")))?;
@@ -698,5 +929,232 @@ mod tests {
         assert_eq!(m1.len(), 1);
         assert!(m1[0].contains("\"counters\""));
         assert_eq!(core.metrics_json(), core.metrics_json());
+    }
+
+    fn overloaded_core(max_frames_per_tick: u64) -> ServerCore {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        ServerCore::new(
+            plan,
+            ServerConfig {
+                max_frames_per_tick,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn frames_past_the_budget_get_busy_and_the_tick_defers_once() {
+        let mut core = overloaded_core(2);
+        for s in 0..2u64 {
+            let lines = one(
+                &mut core,
+                &format!("{{\"op\":\"reading\",\"second\":{s},\"readings\":[[0,1]]}}"),
+            );
+            assert!(lines[0].starts_with("{\"ok\":\"reading\""), "{lines:?}");
+        }
+        let shed = one(
+            &mut core,
+            "{\"op\":\"reading\",\"second\":2,\"readings\":[[0,1]]}",
+        );
+        assert_eq!(
+            shed,
+            vec!["{\"busy\":\"reading\",\"second\":2,\"retry_after_ticks\":1}"]
+        );
+        // The tick after a shed is deferred and refills the budget.
+        let deferred = one(&mut core, "{\"op\":\"tick\",\"second\":3}");
+        assert_eq!(
+            deferred,
+            vec!["{\"busy\":\"tick\",\"second\":3,\"retry_after_ticks\":1}"]
+        );
+        // Resend of the shed frame is now admitted; the retried tick runs.
+        let resent = one(
+            &mut core,
+            "{\"op\":\"reading\",\"second\":2,\"readings\":[[0,1]]}",
+        );
+        assert!(resent[0].starts_with("{\"ok\":\"reading\""));
+        let ticked = one(&mut core, "{\"op\":\"tick\",\"second\":3}");
+        assert!(ticked.last().unwrap().starts_with("{\"ok\":\"tick\""));
+        let metrics = core.metrics_json();
+        assert!(metrics.contains("server.overload.frames_shed"));
+        assert!(metrics.contains("server.overload.ticks_deferred"));
+    }
+
+    #[test]
+    fn subscription_cap_sheds_subscribes() {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut core = ServerCore::new(
+            plan,
+            ServerConfig {
+                max_subscriptions: 1,
+                ..ServerConfig::default()
+            },
+        );
+        assert!(one(
+            &mut core,
+            "{\"op\":\"subscribe\",\"sub\":1,\"range\":[0,0,5,5]}"
+        )[0]
+        .starts_with("{\"ok\":"));
+        let shed = one(
+            &mut core,
+            "{\"op\":\"subscribe\",\"sub\":2,\"range\":[0,0,5,5]}",
+        );
+        assert_eq!(
+            shed,
+            vec!["{\"busy\":\"subscribe\",\"sub\":2,\"retry_after_ticks\":1}"]
+        );
+        // Freeing a slot lets the retried subscribe in (after the
+        // deferred tick clears the shed flag).
+        one(&mut core, "{\"op\":\"unsubscribe\",\"sub\":1}");
+        one(&mut core, "{\"op\":\"tick\",\"second\":0}");
+        let retried = one(
+            &mut core,
+            "{\"op\":\"subscribe\",\"sub\":2,\"range\":[0,0,5,5]}",
+        );
+        assert_eq!(retried, vec!["{\"ok\":\"subscribe\",\"sub\":2}"]);
+    }
+
+    #[test]
+    fn per_request_budget_tags_the_tick_ack() {
+        let mut core = core();
+        // A whole-floor subscription so every detected object answers —
+        // the degradation tag is the worst level among answering objects.
+        one(
+            &mut core,
+            "{\"op\":\"subscribe\",\"sub\":1,\"range\":[-500,-500,1000,1000]}",
+        );
+        let readers: Vec<u32> = core
+            .system()
+            .readers()
+            .iter()
+            .map(|r| r.id().raw())
+            .collect();
+        let feed = |core: &mut ServerCore, s: u64| {
+            let readings: Vec<String> = readers
+                .iter()
+                .enumerate()
+                .map(|(o, r)| format!("[{o},{r}]"))
+                .collect();
+            one(
+                core,
+                &format!(
+                    "{{\"op\":\"reading\",\"second\":{s},\"readings\":[{}]}}",
+                    readings.join(",")
+                ),
+            );
+        };
+        for s in 0..3u64 {
+            feed(&mut core, s);
+        }
+        // A generous explicit budget stays at full fidelity but is tagged.
+        let lines = one(
+            &mut core,
+            "{\"op\":\"tick\",\"second\":3,\"budget\":100000000}",
+        );
+        let ack = lines.last().unwrap();
+        assert!(ack.contains("\"degradation\":\"full\""), "{ack}");
+        // A starvation budget degrades below Full.
+        for s in 4..6u64 {
+            feed(&mut core, s);
+        }
+        let lines = one(&mut core, "{\"op\":\"tick\",\"second\":6,\"budget\":1}");
+        let ack = lines.last().unwrap();
+        assert!(ack.contains("\"degradation\":"), "{ack}");
+        assert!(!ack.contains("\"degradation\":\"full\""), "{ack}");
+        // No budget, no degradation → no tag (golden stability).
+        feed(&mut core, 7);
+        let lines = one(&mut core, "{\"op\":\"tick\",\"second\":8}");
+        assert!(!lines.last().unwrap().contains("degradation"));
+    }
+
+    #[test]
+    fn dead_letters_op_lists_and_drains() {
+        let mut core = core();
+        let lines = one(&mut core, "{\"op\":\"dead_letters\"}");
+        assert_eq!(lines, vec!["{\"dead_letters\":0,\"letters\":[]}"]);
+        // Inject letters directly; executor-driven paths are covered by
+        // the integration tests.
+        core.push_dead_letter(DeadLetter {
+            executor: "e".to_string(),
+            event: ServerEvent::ObjectUnseen {
+                object: ObjectId::new(1),
+                second: 5,
+                last_seen: 0,
+            },
+            second: 5,
+            reason: "panic: \"quoted\"".to_string(),
+        });
+        let listed = one(&mut core, "{\"op\":\"dead_letters\"}");
+        assert_eq!(listed.len(), 1);
+        assert!(listed[0].starts_with("{\"dead_letters\":1,"));
+        assert!(listed[0].contains("\"event\":\"object_unseen\""));
+        assert!(
+            listed[0].contains("\\\"quoted\\\""),
+            "reason is escaped: {}",
+            listed[0]
+        );
+        let drained = one(&mut core, "{\"op\":\"dead_letters\",\"drain\":true}");
+        assert!(drained[0].starts_with("{\"dead_letters\":1,"));
+        assert_eq!(
+            one(&mut core, "{\"op\":\"dead_letters\"}"),
+            vec!["{\"dead_letters\":0,\"letters\":[]}"]
+        );
+    }
+
+    #[test]
+    fn dead_letter_queue_is_capacity_bounded() {
+        let plan = office_building(&OfficeParams::default()).unwrap();
+        let mut core = ServerCore::new(
+            plan,
+            ServerConfig {
+                supervisor: SupervisorPolicy {
+                    dead_letter_capacity: 2,
+                    ..SupervisorPolicy::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        for second in 0..4u64 {
+            core.push_dead_letter(DeadLetter {
+                executor: "e".to_string(),
+                event: ServerEvent::ObjectUnseen {
+                    object: ObjectId::new(1),
+                    second,
+                    last_seen: 0,
+                },
+                second,
+                reason: "r".to_string(),
+            });
+        }
+        let seconds: Vec<u64> = core.dead_letters().map(|l| l.second).collect();
+        assert_eq!(seconds, vec![2, 3], "oldest letters evicted first");
+        assert!(core
+            .metrics_json()
+            .contains("server.executor.dead_letters_dropped"));
+    }
+
+    #[test]
+    fn graceful_shutdown_checkpoints_before_the_ack() {
+        let dir = std::env::temp_dir().join("ripq_core_graceful_shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut core = core();
+        core.set_checkpoint_dir(&dir);
+        one(
+            &mut core,
+            "{\"op\":\"subscribe\",\"sub\":3,\"range\":[0,0,9,9]}",
+        );
+        let lines = one(&mut core, "{\"op\":\"shutdown\"}");
+        assert_eq!(lines, vec!["{\"ok\":\"shutdown\"}"]);
+        assert!(core.is_shutdown());
+        assert!(core.last_checkpoint_error().is_none());
+        assert!(dir.join("server.ckpt").exists(), "sidecar written");
+        assert!(dir.join("system.ckpt").exists(), "system snapshot written");
+        let state = SidecarState::load(&dir).unwrap();
+        assert_eq!(
+            state.frames_processed, 2,
+            "offsets include the shutdown frame"
+        );
+        assert_eq!(state.subscriptions.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

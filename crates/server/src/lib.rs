@@ -13,7 +13,9 @@
 //! ```text
 //! bytes ─→ frame (length-prefix codec) ─→ protocol (JSON requests)
 //!                                              │
-//!                net (TCP/UDS shell)  ◄── core (deterministic engine)
+//!       net (TCP/UDS shell + retry)  ◄── core (deterministic engine)
+//!                      │                       │
+//!            retry (backoff client)   supervisor (breakers, DLQ)
 //!                                              │
 //!                  executor (events)      checkpoint (server.ckpt)
 //! ```
@@ -25,6 +27,15 @@
 //! recovery composes the engine's `system.ckpt` with this crate's
 //! `server.ckpt` sidecar so a restarted daemon resumes the delta stream
 //! exactly where the previous life checkpointed.
+//!
+//! The daemon is also overload-hardened: `core` sheds work past
+//! configurable admission limits with typed `busy` responses (a
+//! deferred tick refills the budget, so evaluated ticks always see a
+//! complete interval), the `supervisor` isolates panicking executors
+//! behind retry and a circuit breaker whose undelivered events persist
+//! in a dead-letter queue, and `retry` / `net::send_frames_with_retry`
+//! give clients a seeded backoff protocol that provably converges to
+//! the unthrottled byte stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,10 +47,16 @@ pub mod frame;
 pub mod json;
 pub mod net;
 pub mod protocol;
+pub mod retry;
+pub mod supervisor;
 
 pub use checkpoint::SidecarState;
 pub use core::{ServerConfig, ServerCore, ServerRecovery};
 pub use executor::{AckExecutor, CountingExecutor, Executor, FrameExecutor, ServerEvent};
 pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
-pub use net::{send_frames, Endpoint, Server};
+pub use net::{send_frames, send_frames_with_retry, Endpoint, Server};
 pub use protocol::{parse_request, Request};
+pub use retry::{replay_with_retry, RetryOutcome, RetryPolicy};
+pub use supervisor::{
+    BreakerState, DeadLetter, DispatchOutcome, SupervisedExecutor, SupervisorPolicy,
+};

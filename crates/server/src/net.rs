@@ -8,6 +8,7 @@
 
 use crate::core::ServerCore;
 use crate::frame::{encode_frame, FrameDecoder};
+use crate::retry::{busy_hint, busy_op, client_backoff_ticks, RetryOutcome, RetryPolicy};
 use ripq_core::RipqError;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -258,6 +259,152 @@ pub fn send_frames(endpoint: &Endpoint, payloads: &[Vec<u8>]) -> Result<Vec<Stri
             .map_err(|e| RipqError::Io(format!("response stream: {e}")))?;
         Ok(lines)
     })
+}
+
+fn connect(endpoint: &Endpoint) -> Result<Stream, RipqError> {
+    Ok(match endpoint {
+        Endpoint::Tcp(addr) => Stream::Tcp(
+            TcpStream::connect(addr).map_err(|e| io_err(&format!("connect {addr}"), e))?,
+        ),
+        Endpoint::Uds(path) => Stream::Uds(
+            UnixStream::connect(path)
+                .map_err(|e| io_err(&format!("connect {}", path.display()), e))?,
+        ),
+    })
+}
+
+/// `true` when `line` concludes a request's response (acks, busy and
+/// error lines; delta/event lines always precede their tick ack).
+fn is_terminal_line(line: &str) -> bool {
+    line.starts_with("{\"ok\":")
+        || line.starts_with("{\"busy\":")
+        || line.starts_with("{\"error\":")
+        || line.starts_with("{\"counters\"")
+        || line.starts_with("{\"dead_letters\"")
+}
+
+/// A request/response client over one connection: each frame is sent
+/// alone and its response lines are read back before the next frame
+/// goes out — the shape the retry protocol needs (a pipelined writer
+/// could not react to `busy` lines).
+struct InteractiveClient {
+    reader: Stream,
+    writer: Stream,
+    decoder: FrameDecoder,
+}
+
+impl InteractiveClient {
+    fn connect(endpoint: &Endpoint) -> Result<Self, RipqError> {
+        let reader = connect(endpoint)?;
+        let writer = reader.try_clone().map_err(|e| io_err("clone stream", e))?;
+        Ok(InteractiveClient {
+            reader,
+            writer,
+            decoder: FrameDecoder::new(),
+        })
+    }
+
+    /// Sends one frame and reads its full response (ending at the
+    /// terminal line). An empty vec means the server closed first.
+    fn send(&mut self, payload: &[u8]) -> Result<Vec<String>, RipqError> {
+        self.writer
+            .write_all(&encode_frame(payload))
+            .map_err(|e| io_err("send", e))?;
+        self.writer.flush().map_err(|e| io_err("send", e))?;
+        let mut lines = Vec::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            while let Some(frame) = self.decoder.next_frame() {
+                match frame {
+                    Ok(bytes) => {
+                        let line = String::from_utf8_lossy(&bytes).into_owned();
+                        let terminal = is_terminal_line(&line);
+                        lines.push(line);
+                        if terminal {
+                            return Ok(lines);
+                        }
+                    }
+                    Err(e) => return Err(RipqError::Io(format!("response frame: {e}"))),
+                }
+            }
+            let n = self.reader.read(&mut buf).map_err(|e| io_err("read", e))?;
+            if n == 0 {
+                return Ok(lines);
+            }
+            if let Some(chunk) = buf.get(..n) {
+                self.decoder.push(chunk);
+            }
+        }
+    }
+}
+
+/// [`send_frames`] with the deterministic retry protocol of
+/// [`crate::retry`]: frames are sent one at a time; shed data frames
+/// queue and are resent (in order) when the deferred tick invites a
+/// retry. Returns the [`RetryOutcome`] whose `lines` are byte-identical
+/// to an unthrottled session when retry converged.
+pub fn send_frames_with_retry(
+    endpoint: &Endpoint,
+    payloads: &[Vec<u8>],
+    policy: &RetryPolicy,
+) -> Result<RetryOutcome, RipqError> {
+    let mut client = InteractiveClient::connect(endpoint)?;
+    let mut outcome = RetryOutcome::default();
+    let mut queued: Vec<Vec<u8>> = Vec::new();
+    for payload in payloads {
+        let mut lines = client.send(payload)?;
+        let Some(op) = lines.last().and_then(|l| busy_op(l)).map(str::to_string) else {
+            outcome.lines.append(&mut lines);
+            if outcome
+                .lines
+                .last()
+                .is_some_and(|l| l == "{\"ok\":\"shutdown\"}")
+            {
+                break;
+            }
+            continue;
+        };
+        outcome.busy_lines += 1;
+        if op != "tick" {
+            queued.push(payload.clone());
+            continue;
+        }
+        let mut hint = lines.last().and_then(|l| busy_hint(l)).unwrap_or(1);
+        let mut round = 0u32;
+        loop {
+            round += 1;
+            if round > policy.max_rounds.max(1) {
+                outcome.gave_up = true;
+                break;
+            }
+            outcome.retry_rounds += 1;
+            outcome.backoff_ticks += hint.max(client_backoff_ticks(policy.seed, round));
+            let resend = std::mem::take(&mut queued);
+            for f in &resend {
+                outcome.frames_resent += 1;
+                let mut ls = client.send(f)?;
+                if ls.last().and_then(|l| busy_op(l)).is_some() {
+                    outcome.busy_lines += 1;
+                    queued.push(f.clone());
+                } else {
+                    outcome.lines.append(&mut ls);
+                }
+            }
+            let mut tick_lines = client.send(payload)?;
+            match tick_lines.last().and_then(|l| busy_hint(l)) {
+                Some(next_hint) => {
+                    outcome.busy_lines += 1;
+                    hint = next_hint;
+                }
+                None => {
+                    outcome.lines.append(&mut tick_lines);
+                    break;
+                }
+            }
+        }
+    }
+    outcome.frames_abandoned = queued.len() as u64;
+    Ok(outcome)
 }
 
 #[cfg(test)]

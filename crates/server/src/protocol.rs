@@ -46,6 +46,16 @@ pub enum Request {
     Tick {
         /// The logical second to evaluate at.
         second: u64,
+        /// Optional per-request deadline budget (logical cost units)
+        /// overriding the server-wide `query_budget` for this tick. The
+        /// tick ack is tagged with the worst `DegradationLevel` the
+        /// budget forced.
+        budget: Option<u64>,
+    },
+    /// List (and optionally drain) the executor dead-letter queue.
+    DeadLetters {
+        /// When `true`, the queue is cleared after rendering.
+        drain: bool,
     },
     /// Request a metrics snapshot frame.
     Metrics,
@@ -181,9 +191,26 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
         "unsubscribe" => Ok(Request::Unsubscribe {
             sub: field_u64(obj, "sub")?,
         }),
-        "tick" => Ok(Request::Tick {
-            second: field_u64(obj, "second")?,
-        }),
+        "tick" => {
+            let budget = match obj.get("budget") {
+                None => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or("field `budget` must be a non-negative integer")?,
+                ),
+            };
+            Ok(Request::Tick {
+                second: field_u64(obj, "second")?,
+                budget,
+            })
+        }
+        "dead_letters" => {
+            let drain = match obj.get("drain") {
+                None => false,
+                Some(v) => v.as_bool().ok_or("field `drain` must be a boolean")?,
+            };
+            Ok(Request::DeadLetters { drain })
+        }
         "metrics" => Ok(Request::Metrics),
         "checkpoint" => Ok(Request::Checkpoint),
         "shutdown" => Ok(Request::Shutdown),
@@ -254,6 +281,20 @@ pub fn render_ok(op: &str, extras: &[(&str, String)]) -> String {
     out
 }
 
+/// Renders an overload (admission-control) rejection frame:
+/// `{"busy":"<op>", ...extras, "retry_after_ticks":N}`. The hint is
+/// deterministic — a retrying client that honors it provably converges
+/// to the unthrottled session's final state.
+pub fn render_busy(op: &str, extras: &[(&str, String)], retry_after_ticks: u64) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"busy\":\"{op}\"");
+    for (k, v) in extras {
+        let _ = write!(out, ",\"{k}\":{v}");
+    }
+    let _ = write!(out, ",\"retry_after_ticks\":{retry_after_ticks}}}");
+    out
+}
+
 /// Renders a protocol error frame.
 pub fn render_error(message: &str) -> String {
     let mut out = String::from("{\"error\":");
@@ -307,7 +348,25 @@ mod tests {
         );
         assert_eq!(
             parse_request(br#"{"op":"tick","second":8}"#).unwrap(),
-            Request::Tick { second: 8 }
+            Request::Tick {
+                second: 8,
+                budget: None
+            }
+        );
+        assert_eq!(
+            parse_request(br#"{"op":"tick","second":8,"budget":150}"#).unwrap(),
+            Request::Tick {
+                second: 8,
+                budget: Some(150)
+            }
+        );
+        assert_eq!(
+            parse_request(br#"{"op":"dead_letters"}"#).unwrap(),
+            Request::DeadLetters { drain: false }
+        );
+        assert_eq!(
+            parse_request(br#"{"op":"dead_letters","drain":true}"#).unwrap(),
+            Request::DeadLetters { drain: true }
         );
         assert_eq!(
             parse_request(br#"{"op":"metrics"}"#).unwrap(),
@@ -338,6 +397,9 @@ mod tests {
             br#"{"op":"subscribe","sub":1,"range":[0,0,-1,1]}"#,
             br#"{"op":"raw","second":5,"samples":[[4.5,1,2]]}"#,
             br#"{"op":"tick"}"#,
+            br#"{"op":"tick","second":1,"budget":-3}"#,
+            br#"{"op":"tick","second":1,"budget":"fast"}"#,
+            br#"{"op":"dead_letters","drain":1}"#,
         ] {
             assert!(
                 parse_request(bad).is_err(),
@@ -380,5 +442,10 @@ mod tests {
             "{\"ok\":\"tick\",\"second\":4}"
         );
         assert_eq!(render_error("no\nway"), "{\"error\":\"no\\nway\"}");
+        assert_eq!(
+            render_busy("reading", &[("second", "5".to_string())], 1),
+            "{\"busy\":\"reading\",\"second\":5,\"retry_after_ticks\":1}"
+        );
+        assert!(crate::json::parse(render_busy("tick", &[], 2).as_bytes()).is_ok());
     }
 }

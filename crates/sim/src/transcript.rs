@@ -117,6 +117,10 @@ pub struct TranscriptSpec {
     /// life's checkpoint counters), so a resumed stream can only be
     /// byte-equal to the golden's suffix without this frame.
     pub metrics_frame: bool,
+    /// Per-request deadline attached to every `tick` frame (the
+    /// protocol's `budget` field). `None` records plain ticks — the
+    /// v1-compatible shape every existing golden uses.
+    pub tick_budget: Option<u64>,
 }
 
 impl Default for TranscriptSpec {
@@ -130,6 +134,7 @@ impl Default for TranscriptSpec {
             knn_subs: 1,
             checkpoint_after: Some(60),
             metrics_frame: true,
+            tick_budget: None,
         }
     }
 }
@@ -210,7 +215,12 @@ pub fn record_transcript(spec: &TranscriptSpec) -> Transcript {
         f.push_str("]}");
         frames.push(f);
         if spec.tick_every > 0 && (second + 1) % spec.tick_every == 0 {
-            frames.push(format!("{{\"op\":\"tick\",\"second\":{second}}}"));
+            frames.push(match spec.tick_budget {
+                Some(budget) => {
+                    format!("{{\"op\":\"tick\",\"second\":{second},\"budget\":{budget}}}")
+                }
+                None => format!("{{\"op\":\"tick\",\"second\":{second}}}"),
+            });
             if checkpoint_pending.is_some_and(|at| second >= at) {
                 checkpoint_pending = None;
                 frames.push("{\"op\":\"checkpoint\"}".to_string());
@@ -290,6 +300,28 @@ mod tests {
         t.save(&path).unwrap();
         assert_eq!(Transcript::load(&path).unwrap(), t);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tick_budget_lands_on_every_tick_frame() {
+        let t = record_transcript(&TranscriptSpec {
+            objects: 2,
+            seconds: 20,
+            tick_every: 10,
+            checkpoint_after: None,
+            tick_budget: Some(500),
+            ..TranscriptSpec::default()
+        });
+        let ticks: Vec<&String> = t
+            .frames
+            .iter()
+            .filter(|f| f.contains("\"op\":\"tick\""))
+            .collect();
+        assert_eq!(ticks.len(), 2);
+        assert!(
+            ticks.iter().all(|f| f.ends_with(",\"budget\":500}")),
+            "{ticks:?}"
+        );
     }
 
     #[test]

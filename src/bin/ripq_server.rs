@@ -15,7 +15,7 @@
 //! stream's suffix.
 
 use ripq::floorplan::{office_building, OfficeParams};
-use ripq::server::{Endpoint, Server, ServerConfig, ServerCore, ServerRecovery};
+use ripq::server::{Endpoint, RetryPolicy, Server, ServerConfig, ServerCore, ServerRecovery};
 use ripq::sim::transcript::{record_transcript, Transcript, TranscriptSpec};
 
 fn main() {
@@ -33,13 +33,18 @@ fn main() {
                  \n\
                  serve  (--uds PATH | --tcp ADDR) [--workers N] [--seed N]\n\
                  \x20      [--checkpoint-dir DIR] [--checkpoint-every-ticks N] [--recover]\n\
-                 \x20      [--metrics-json FILE]\n\
+                 \x20      [--metrics-json FILE] [--max-frames-per-tick N]\n\
+                 \x20      [--max-subscriptions N] [--max-conn-bytes N] [--query-budget N]\n\
                  record --out FILE [--seed N] [--objects N] [--seconds N]\n\
                  \x20      [--tick-every N] [--range-subs N] [--knn-subs N]\n\
                  \x20      [--checkpoint-after S | --no-checkpoint] [--no-metrics]\n\
+                 \x20      [--tick-budget N]\n\
                  replay --transcript FILE [--workers N] [--seed N] [--metrics-json FILE]\n\
                  \x20      [--checkpoint-dir DIR] [--recover] [--fail-after-frames N]\n\
-                 send   (--uds PATH | --tcp ADDR) --transcript FILE"
+                 \x20      [--max-frames-per-tick N] [--max-subscriptions N]\n\
+                 \x20      [--query-budget N] [--retry] [--retry-seed N] [--retry-max-rounds N]\n\
+                 send   (--uds PATH | --tcp ADDR) --transcript FILE\n\
+                 \x20      [--retry] [--retry-seed N] [--retry-max-rounds N]"
             );
             if cmd == "help" {
                 0
@@ -75,7 +80,39 @@ fn server_config(args: &[String]) -> ServerConfig {
         workers: flag(args, "--workers").and_then(|s| s.parse().ok()),
         checkpoint_every_ticks: parse_or(flag(args, "--checkpoint-every-ticks"), 0),
         unseen_after: parse_or(flag(args, "--unseen-after"), 60),
+        max_frames_per_tick: parse_or(flag(args, "--max-frames-per-tick"), 0),
+        max_subscriptions: parse_or(flag(args, "--max-subscriptions"), 0),
+        max_conn_response_bytes: parse_or(flag(args, "--max-conn-bytes"), 0),
+        query_budget: flag(args, "--query-budget").and_then(|s| s.parse().ok()),
+        ..ServerConfig::default()
     }
+}
+
+fn retry_policy(args: &[String]) -> Option<RetryPolicy> {
+    if !args.iter().any(|a| a == "--retry") {
+        return None;
+    }
+    let defaults = RetryPolicy::default();
+    Some(RetryPolicy {
+        seed: parse_or(flag(args, "--retry-seed"), defaults.seed),
+        max_rounds: parse_or(flag(args, "--retry-max-rounds"), defaults.max_rounds),
+    })
+}
+
+fn report_retry(outcome: &ripq::server::RetryOutcome) {
+    eprintln!(
+        "retry: {} busy lines, {} rounds, {} frames resent, {} backoff ticks{}{}",
+        outcome.busy_lines,
+        outcome.retry_rounds,
+        outcome.frames_resent,
+        outcome.backoff_ticks,
+        if outcome.gave_up { ", GAVE UP" } else { "" },
+        if outcome.frames_abandoned > 0 {
+            format!(", {} frames abandoned", outcome.frames_abandoned)
+        } else {
+            String::new()
+        }
+    );
 }
 
 /// Builds the daemon core over the default office plan, wiring the
@@ -190,6 +227,7 @@ fn cmd_record(args: &[String]) -> i32 {
             ))
         },
         metrics_frame: !args.iter().any(|a| a == "--no-metrics"),
+        tick_budget: flag(args, "--tick-budget").and_then(|s| s.parse().ok()),
     };
     let transcript = record_transcript(&spec);
     if let Err(e) = transcript.save(std::path::Path::new(&out)) {
@@ -220,16 +258,33 @@ fn cmd_replay(args: &[String]) -> i32 {
         }
     };
     let fail_after: Option<u64> = flag(args, "--fail-after-frames").and_then(|s| s.parse().ok());
-    for (i, frame) in transcript.frames.iter().enumerate().skip(skip as usize) {
-        if fail_after.is_some_and(|n| (i as u64) >= n) {
-            eprintln!("simulated crash before frame {i}");
-            return 3;
-        }
-        for line in core.handle_frame(frame.as_bytes()) {
+    if let Some(policy) = retry_policy(args) {
+        // Shed-aware replay: the in-process equivalent of the backoff
+        // socket client. Incompatible with crash simulation (the retry
+        // loop owns frame pacing).
+        let remaining: Vec<String> = transcript
+            .frames
+            .iter()
+            .skip(skip as usize)
+            .cloned()
+            .collect();
+        let outcome = ripq::server::replay_with_retry(&mut core, &remaining, &policy);
+        for line in &outcome.lines {
             println!("{line}");
         }
-        if core.is_shutdown() {
-            break;
+        report_retry(&outcome);
+    } else {
+        for (i, frame) in transcript.frames.iter().enumerate().skip(skip as usize) {
+            if fail_after.is_some_and(|n| (i as u64) >= n) {
+                eprintln!("simulated crash before frame {i}");
+                return 3;
+            }
+            for line in core.handle_frame(frame.as_bytes()) {
+                println!("{line}");
+            }
+            if core.is_shutdown() {
+                break;
+            }
         }
     }
     if let Err(e) = write_metrics(args, &core) {
@@ -255,6 +310,25 @@ fn cmd_send(args: &[String]) -> i32 {
             return 1;
         }
     };
+    if let Some(policy) = retry_policy(args) {
+        return match ripq::server::send_frames_with_retry(
+            &endpoint,
+            &transcript.payloads(),
+            &policy,
+        ) {
+            Ok(outcome) => {
+                for line in &outcome.lines {
+                    println!("{line}");
+                }
+                report_retry(&outcome);
+                i32::from(outcome.gave_up)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        };
+    }
     match ripq::server::send_frames(&endpoint, &transcript.payloads()) {
         Ok(lines) => {
             for line in &lines {

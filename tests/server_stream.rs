@@ -47,6 +47,7 @@ fn fixture_spec() -> TranscriptSpec {
         knn_subs: 1,
         checkpoint_after: Some(30),
         metrics_frame: false,
+        tick_budget: None,
     }
 }
 

@@ -4,7 +4,7 @@
 //! cargo xtask lint [--json] [--root <path>]   run the static-analysis gate
 //! cargo xtask audit [flags]                   run the workspace audit (A1–A4)
 //! cargo xtask rules                           list the rule/analysis catalogue
-//! cargo xtask bench-json [--out <path>]       emit the BENCH_9.json perf snapshot
+//! cargo xtask bench-json [--out <path>]       emit the BENCH_10.json perf snapshot
 //! ```
 
 use std::path::PathBuf;
@@ -22,8 +22,8 @@ fn usage() -> ExitCode {
          run the workspace audit: layering DAG, metrics\n                                  \
          registry, determinism taint, panic ratchet\n  \
          rules                           list lint rules and audit analyses\n  \
-         bench-json [--out <path>]       write the BENCH_9.json perf snapshot (default: \n  \
-                                         BENCH_9.json at the workspace root)"
+         bench-json [--out <path>]       write the BENCH_10.json perf snapshot (default: \n  \
+                                         BENCH_10.json at the workspace root)"
     );
     ExitCode::from(2)
 }
@@ -180,7 +180,7 @@ fn main() -> ExitCode {
             }
             let out = out.or_else(|| {
                 let cwd = std::env::current_dir().ok()?;
-                Some(lint::find_workspace_root(&cwd)?.join("BENCH_9.json"))
+                Some(lint::find_workspace_root(&cwd)?.join("BENCH_10.json"))
             });
             let Some(out) = out else {
                 eprintln!("error: could not locate the workspace root (try --out <path>)");
